@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (or an
+ablation) with paper-scale sample counts, asserts the shape claims
+recorded in EXPERIMENTS.md, and prints the regenerated table (visible
+with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adls.library import default_registry
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def paper_adls(registry):
+    """The two ADLs the paper evaluates, in Table 2 order."""
+    return [registry.get("tooth-brushing"), registry.get("tea-making")]

@@ -1,0 +1,78 @@
+"""Bench: field training — observed episodes vs deployment readiness.
+
+How many *watched* (unaided, through the real sensing pipeline)
+episodes does `CoReDA.train_from_history` need before the system can
+guide?  Two things must come out of the watching phase: the inferred
+routine must be the user's actual routine, and the trained policy
+must predict every next step.  The sweep shows both are reliable from
+a handful of observed episodes, because segmentation + HMM repair
+absorb the sensing misses of Table 3.
+"""
+
+from repro.adls.tea_making import POT, TEACUP
+from repro.core.adl import Routine
+from repro.core.config import CoReDAConfig
+from repro.core.system import CoReDA
+from repro.evalx.tables import format_table
+from repro.planning.state import episode_states
+
+OBSERVED_COUNTS = (5, 10, 20)
+SEEDS = (0, 1, 2)
+PERSONAL = [1, 3, 2, 4]
+RELIABLE = {POT.tool_id: 6.0, TEACUP.tool_id: 5.0}
+
+
+def _trial(definition, observed, seed):
+    system = CoReDA.build(definition, CoReDAConfig(seed=300 + seed))
+    routine = Routine(definition.adl, PERSONAL)
+    for index in range(observed):
+        resident = system.create_resident(
+            routine=routine,
+            handling_overrides=RELIABLE,
+            name=f"watch-{index}",
+        )
+        system.observe_episode(resident)
+        system.sim.run_until(system.sim.now + 120.0)
+    result = system.train_from_history(require_converged=False)
+    routine_ok = list(result.routine.step_ids) == PERSONAL
+    states = episode_states(PERSONAL)
+    predictions_ok = all(
+        system.predictor.predict(states[i]).tool_id == states[i + 1].current
+        for i in range(len(states) - 1)
+    )
+    return routine_ok, predictions_ok
+
+
+def _study(definition):
+    rows = []
+    for observed in OBSERVED_COUNTS:
+        routine_hits = 0
+        prediction_hits = 0
+        for seed in SEEDS:
+            routine_ok, predictions_ok = _trial(definition, observed, seed)
+            routine_hits += int(routine_ok)
+            prediction_hits += int(predictions_ok)
+        rows.append((observed, routine_hits, prediction_hits, len(SEEDS)))
+    return rows
+
+
+def test_field_training(benchmark, registry):
+    definition = registry.get("tea-making")
+    rows = benchmark.pedantic(
+        _study, args=(definition,), rounds=1, iterations=1
+    )
+    print("\n" + format_table(
+        ["Observed episodes", "Routine inferred", "Policy correct"],
+        [(observed, f"{routine}/{total}", f"{policy}/{total}")
+         for observed, routine, policy, total in rows],
+        title="Field training: watched episodes vs readiness (tea-making, "
+              "personal routine 1-3-2-4)",
+    ))
+    by_count = {observed: (routine, policy, total)
+                for observed, routine, policy, total in rows}
+    # Ten watched episodes suffice on every seed.
+    routine, policy, total = by_count[10]
+    assert routine == total
+    assert policy == total
+    routine, policy, total = by_count[20]
+    assert routine == total and policy == total

@@ -1,0 +1,32 @@
+"""Bench: Figure 1 -- the typical CoReDA scenario.
+
+Paper timeline: wrong tool (tea-cup) after step 1 -> 4-method prompt
+at 13 s; praise at 23 s after the pot is used; 30 s stall after
+pouring tea -> 3-method prompt at 71 s; praise and completion.  Exact
+seconds depend on synthetic pacing; the bench asserts the structure
+(ordering, trigger reasons, method counts, completion) and prints the
+reconstructed timeline next to the paper's anchors.
+"""
+
+from repro.evalx.scenario import run_tea_scenario
+
+
+def test_fig1_scenario(benchmark):
+    result = benchmark.pedantic(run_tea_scenario, rounds=1, iterations=1)
+    print("\n" + result.to_table())
+    print(
+        "paper anchors: wrong-tool prompt 13s, praise 23s, "
+        "stall prompt 71s  |  measured: "
+        f"{result.wrong_tool_prompt_time:.1f}s, "
+        f"{result.first_praise_time:.1f}s, {result.stall_prompt_time:.1f}s"
+    )
+    assert result.structure_ok()
+    assert result.completed
+    # The wrong-tool prompt uses all four methods (text, picture,
+    # green LED on target, red LED on the misused tool); the stall
+    # prompt uses three (no tool is being misused).
+    assert result.wrong_tool_methods == 4
+    assert result.stall_methods == 3
+    # The stall prompt comes ~30 s (the paper's "does not do anything
+    # for 30s") after the last step activity.
+    assert result.stall_prompt_time > result.first_praise_time + 30.0

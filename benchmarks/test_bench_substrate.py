@@ -1,0 +1,85 @@
+"""Substrate microbenchmarks: kernel, detector, Q-update throughput.
+
+These benches time the hot loops everything else is built on.  The
+assertions are generous sanity floors (the real output is the timing
+report pytest-benchmark prints); the paper ran its planner on a 2005
+laptop, so throughput is not a bottleneck anywhere.
+"""
+
+import numpy as np
+
+from repro.planning.action import action_space
+from repro.planning.state import episode_states
+from repro.planning.trainer import RoutineTrainer
+from repro.rl.tdlambda import TDLambdaQLearner
+from repro.sensors.detector import KofNDetector
+from repro.sim.kernel import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.1, tick)
+
+        sim.schedule(0.1, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_detector_sample_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    samples = rng.random(100_000) * 0.8  # below threshold
+
+    def run():
+        detector = KofNDetector(threshold=1.0, k=3, n=10)
+        return detector.observe_trace(samples)
+
+    detections = benchmark(run)
+    assert detections == 0
+
+
+def test_q_update_throughput(benchmark):
+    learner = TDLambdaQLearner(learning_rate=0.1, discount=0.9, trace_decay=0.7)
+    actions = list(range(8))
+
+    def run():
+        for i in range(1_000):
+            state = (i % 5, (i + 1) % 5)
+            next_state = ((i + 1) % 5, (i + 2) % 5)
+            learner.observe(
+                state, i % 8, 1.0, next_state, actions, done=(i % 4 == 3)
+            )
+        return learner.updates
+
+    assert benchmark(run) > 0
+
+
+def test_full_training_run_time(benchmark, registry):
+    """Time one paper-scale training run (120 episodes, tea-making)."""
+    adl = registry.get("tea-making").adl
+    routine = adl.canonical_routine()
+    log = [list(routine.step_ids)] * 120
+
+    def run():
+        trainer = RoutineTrainer(adl, rng=np.random.default_rng(0))
+        return trainer.train(log, routine=routine)
+
+    result = benchmark(run)
+    assert result.curve.greedy_accuracy[-1] == 1.0
+
+
+def test_state_action_space_construction(benchmark, registry):
+    adl = registry.get("dressing").adl  # the largest ADL (6 steps)
+
+    def run():
+        return len(action_space(adl)) + len(episode_states(adl.step_ids))
+
+    assert benchmark(run) == 12 + 6

@@ -1,0 +1,17 @@
+"""Bench: Table 1 -- Hardware of PAVENET.
+
+Static, but regenerated from the spec object the simulation actually
+enforces (EEPROM byte budget, LED count), so doc/impl drift fails.
+"""
+
+from repro.evalx.hardware_table import table1_hardware
+from repro.sensors.hardware import PAVENET_SPEC
+
+
+def test_table1_hardware(benchmark):
+    table = benchmark(table1_hardware)
+    print("\n" + table)
+    assert "Microchip PIC18LF4620" in table
+    assert "ChipCon CC1000" in table
+    assert PAVENET_SPEC.eeprom_bytes == 16 * 1024
+    assert PAVENET_SPEC.led_count == 4

@@ -1,0 +1,16 @@
+"""Bench: Table 2 -- Sensor and tool of ADL Step."""
+
+from repro.evalx.hardware_table import table2_rows, table2_sensor_map
+
+
+def test_table2_sensor_map(benchmark, paper_adls):
+    table = benchmark(table2_sensor_map, paper_adls)
+    print("\n" + table)
+    rows = table2_rows(paper_adls)
+    # Eight steps over the two evaluation ADLs, pressure only on the
+    # electronic-pot -- exactly the paper's mapping.
+    assert len(rows) == 8
+    pressure_rows = [row for row in rows if row[2].startswith("Pressure")]
+    assert pressure_rows == [
+        ("tea-making", "Pour hot water into kettle", "Pressure on electronic-pot")
+    ]

@@ -1,0 +1,84 @@
+"""Generalization: deploy CoReDA on a brand-new ADL from scratch.
+
+Run with::
+
+    python examples/new_adl_generalization.py
+
+The paper claims deploying on a new activity only needs "attach one
+PAVENET to a tool, and configure its uid as the tool ID".  This
+example proves the software equivalent: a *medication-taking* ADL is
+defined right here -- tools, steps, signal profiles -- and the entire
+pipeline (sensing, learning, prediction, reminding) works on it with
+zero changes anywhere else.
+"""
+
+from repro import CoReDA, CoReDAConfig
+from repro.adls.library import ADLDefinition
+from repro.core.adl import ADL, ADLStep, SensorType, Tool
+from repro.resident.compliance import ComplianceModel
+from repro.resident.dementia import ErrorKind, ScriptedError
+from repro.sensors.signals import SignalProfile
+
+# --- the whole deployment definition -----------------------------------
+PILLBOX = Tool(51, "pill-box", SensorType.ACCELEROMETER, picture="pillbox.png")
+BOTTLE = Tool(52, "water-bottle", SensorType.ACCELEROMETER, picture="bottle.png")
+GLASS = Tool(53, "glass", SensorType.ACCELEROMETER, picture="glass.png")
+DIARY = Tool(54, "medication-diary", SensorType.ACCELEROMETER,
+             picture="diary.png")
+
+
+def medication_definition() -> ADLDefinition:
+    adl = ADL(
+        "medication-taking",
+        [
+            ADLStep("Take pills from the pill-box", PILLBOX,
+                    typical_duration=8.0, handling_duration=4.0),
+            ADLStep("Pour water from the bottle", BOTTLE,
+                    typical_duration=6.0, handling_duration=3.0),
+            ADLStep("Drink with the glass", GLASS,
+                    typical_duration=7.0, handling_duration=3.5),
+            ADLStep("Tick the medication diary", DIARY,
+                    typical_duration=6.0, handling_duration=2.5),
+        ],
+    )
+    profiles = {
+        PILLBOX.tool_id: SignalProfile(burst_probability=0.45),
+        BOTTLE.tool_id: SignalProfile(burst_probability=0.40),
+        GLASS.tool_id: SignalProfile(burst_probability=0.35),
+        DIARY.tool_id: SignalProfile(burst_probability=0.30),
+    }
+    return ADLDefinition(adl=adl, signal_profiles=profiles)
+# ------------------------------------------------------------------------
+
+
+def main() -> None:
+    definition = medication_definition()
+    print(f"New ADL defined: {definition.adl.name}")
+    for step in definition.adl.steps:
+        print(f"  step {step.step_id}: {step.name} "
+              f"({step.tool.sensor.value} on {step.tool.name})")
+
+    system = CoReDA.build(definition, CoReDAConfig(seed=3))
+    result = system.train_offline(episodes=120)
+    print(f"\nroutine learned: converged at 95% after "
+          f"{result.convergence[0.95]} iterations")
+
+    resident = system.create_resident(
+        compliance=ComplianceModel.perfect(),
+        # Forgets to tick the diary after drinking.
+        error_script={3: ScriptedError(ErrorKind.STALL)},
+        handling_overrides={tool_id: 5.0 for tool_id in (51, 52, 53, 54)},
+        name="new-user",
+    )
+    outcome = system.run_episode(resident)
+    print(f"guided episode completed: {outcome.completed}, "
+          f"reminders: {outcome.reminders_seen}")
+    for reminder in system.reminding.reminders:
+        print(f"  t={reminder.time:5.1f}s {reminder.reason.name}: "
+              f"{reminder.message}")
+    print("\nNo code outside this file changed -- the pipeline is "
+          "ADL-agnostic, as the paper claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Cohort study: CoReDA across a care-home population.
+
+Run with::
+
+    python examples/population_study.py
+
+The paper's partner NPO cares for 25 dementia patients aged 72-91.
+This example generates a comparable synthetic cohort -- each member
+with their own personal routine, dementia severity and prompt
+compliance -- trains one CoReDA instance per resident on *their*
+routine (care principle 1), runs guided episodes, and reports how
+reminder load scales with severity.
+"""
+
+from repro import CoReDA, CoReDAConfig
+from repro.adls import default_registry
+from repro.core.metrics import mean
+from repro.resident.population import generate_population
+from repro.resident.routines import training_episodes
+from repro.sim.random import RandomStreams
+
+COHORT_SIZE = 12
+EPISODES_PER_RESIDENT = 3
+
+
+def main() -> None:
+    definition = default_registry().get("tea-making")
+    cohort = generate_population(
+        definition.adl, COHORT_SIZE, RandomStreams(2024)
+    )
+
+    print(f"Cohort: {len(cohort)} residents, ages "
+          f"{min(p.age for p in cohort)}-{max(p.age for p in cohort)}")
+    print()
+    print(f"{'resident':<14}{'age':>4}{'severity':>10}{'routine':>22}"
+          f"{'reminders/ep':>14}{'completed':>11}")
+
+    by_severity = []
+    for index, profile in enumerate(cohort):
+        system = CoReDA.build(definition, CoReDAConfig(seed=100 + index))
+        system.train_offline(
+            routine=profile.routine,
+            episode_log=training_episodes(profile.routine, 120),
+        )
+        reliable = {
+            step.step_id: max(step.handling_duration, 5.0)
+            for step in definition.adl.steps
+        }
+        completed = 0
+        reminder_counts = []
+        for episode in range(EPISODES_PER_RESIDENT):
+            resident = system.create_resident(
+                routine=profile.routine,
+                dementia=profile.dementia,
+                compliance=profile.compliance,
+                handling_overrides=reliable,
+                name=f"{profile.name}-ep{episode}",
+            )
+            outcome = system.run_episode(resident, horizon=3600.0)
+            completed += int(outcome.completed)
+            reminder_counts.append(outcome.reminders_seen)
+        per_episode = mean(reminder_counts)
+        by_severity.append((profile.severity, per_episode))
+        routine_text = "-".join(str(s) for s in profile.routine.step_ids)
+        print(f"{profile.name:<14}{profile.age:>4}{profile.severity:>10.2f}"
+              f"{routine_text:>22}{per_episode:>14.1f}"
+              f"{completed:>8}/{EPISODES_PER_RESIDENT}")
+
+    print()
+    mild = [r for severity, r in by_severity if severity < 0.45]
+    severe = [r for severity, r in by_severity if severity >= 0.45]
+    if mild and severe:
+        print(f"mean reminders/episode, mild cohort   (<0.45): {mean(mild):.1f}")
+        print(f"mean reminders/episode, severe cohort (>=0.45): {mean(severe):.1f}")
+        print("Reminder load grows with severity -- the system takes over "
+              "exactly as much prompting as each resident needs.")
+
+
+if __name__ == "__main__":
+    main()

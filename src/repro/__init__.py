@@ -1,0 +1,60 @@
+"""CoReDA: a Context-aware Reminding system for Daily Activities.
+
+A complete reproduction of Si, Kim, Kawanishi & Morikawa (ICDCS 2007):
+a ubiquitous guidance system that senses tool usage through simulated
+PAVENET wireless sensor nodes, learns each user's personal routine
+for an Activity of Daily Living with TD(λ) Q-learning, and delivers
+minimal/specific reminders (text, picture, LED) when the user stalls
+or uses the wrong tool.
+
+Quickstart::
+
+    from repro import CoReDA, CoReDAConfig
+    from repro.adls import default_registry
+
+    definition = default_registry().get("tea-making")
+    system = CoReDA.build(definition, CoReDAConfig(seed=7))
+    system.train_offline(episodes=120)
+    outcome = system.run_episode(system.create_resident())
+
+Subpackages
+-----------
+``repro.core``      data model, events, configuration, orchestrator
+``repro.sim``       discrete-event simulation kernel
+``repro.sensors``   PAVENET node substrate (signals, detector, radio)
+``repro.sensing``   sensing subsystem (StepID extraction)
+``repro.rl``        tabular RL toolbox (TD(λ) Q-learning and friends)
+``repro.planning``  planning subsystem (training, prediction, prompts)
+``repro.reminding`` reminding subsystem (display, LEDs, escalation)
+``repro.resident``  simulated care recipients
+``repro.adls``      ADL library (tea-making, tooth-brushing, ...)
+``repro.baselines`` comparison systems (fixed plan, bigram, MDP)
+``repro.evalx``     the paper's tables and figures, regenerable
+"""
+
+from repro.core import (
+    ADL,
+    ADLStep,
+    CoReDA,
+    CoReDAConfig,
+    CoReDAError,
+    ReminderLevel,
+    Routine,
+    SensorType,
+    Tool,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADL",
+    "ADLStep",
+    "CoReDA",
+    "CoReDAConfig",
+    "CoReDAError",
+    "ReminderLevel",
+    "Routine",
+    "SensorType",
+    "Tool",
+    "__version__",
+]

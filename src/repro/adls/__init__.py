@@ -1,0 +1,32 @@
+"""The ADL library: the paper's two ADLs plus the generalization set."""
+
+from repro.adls.coffee_making import coffee_making_definition, make_coffee_making
+from repro.adls.dressing import (
+    dressing_definition,
+    dressing_routines,
+    make_dressing,
+)
+from repro.adls.hand_washing import hand_washing_definition, make_hand_washing
+from repro.adls.library import ADLDefinition, ADLRegistry, default_registry
+from repro.adls.tea_making import make_tea_making, tea_making_definition
+from repro.adls.tooth_brushing import (
+    make_tooth_brushing,
+    tooth_brushing_definition,
+)
+
+__all__ = [
+    "ADLDefinition",
+    "ADLRegistry",
+    "coffee_making_definition",
+    "default_registry",
+    "dressing_definition",
+    "dressing_routines",
+    "hand_washing_definition",
+    "make_coffee_making",
+    "make_dressing",
+    "make_hand_washing",
+    "make_tea_making",
+    "make_tooth_brushing",
+    "tea_making_definition",
+    "tooth_brushing_definition",
+]

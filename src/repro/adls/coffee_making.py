@@ -1,0 +1,88 @@
+"""The coffee-making ADL (generalization set).
+
+A five-step kitchen activity mixing sensor modalities (pressure on
+the kettle switch, accelerometers elsewhere), used by the examples
+and the generalization tests to show that deploying a brand-new ADL
+requires nothing beyond this one definition module.
+"""
+
+from __future__ import annotations
+
+from repro.adls.library import ADLDefinition
+from repro.core.adl import ADL, ADLStep, SensorType, Tool
+from repro.sensors.signals import SignalProfile
+
+__all__ = [
+    "COFFEE_JAR",
+    "KETTLE_SWITCH",
+    "MUG",
+    "MILK",
+    "SPOON",
+    "make_coffee_making",
+    "coffee_making_definition",
+]
+
+#: ToolIDs 41-45.
+COFFEE_JAR = Tool(41, "coffee-jar", SensorType.ACCELEROMETER, picture="jar.png")
+KETTLE_SWITCH = Tool(42, "kettle-switch", SensorType.PRESSURE, picture="switch.png")
+MUG = Tool(43, "mug", SensorType.ACCELEROMETER, picture="mug.png")
+MILK = Tool(44, "milk-carton", SensorType.ACCELEROMETER, picture="milk.png")
+SPOON = Tool(45, "spoon", SensorType.ACCELEROMETER, picture="spoon.png")
+
+
+def make_coffee_making() -> ADL:
+    """The coffee-making ADL with canonical step order."""
+    return ADL(
+        "coffee-making",
+        [
+            ADLStep(
+                "Spoon coffee into the mug",
+                COFFEE_JAR,
+                typical_duration=8.0,
+                duration_sd=1.5,
+                handling_duration=4.0,
+            ),
+            ADLStep(
+                "Switch the kettle on",
+                KETTLE_SWITCH,
+                typical_duration=6.0,
+                duration_sd=1.0,
+                handling_duration=1.5,
+            ),
+            ADLStep(
+                "Pour water into the mug",
+                MUG,
+                typical_duration=9.0,
+                duration_sd=1.5,
+                handling_duration=4.0,
+            ),
+            ADLStep(
+                "Add milk",
+                MILK,
+                typical_duration=6.0,
+                duration_sd=1.0,
+                handling_duration=2.5,
+            ),
+            ADLStep(
+                "Stir with the spoon",
+                SPOON,
+                typical_duration=7.0,
+                duration_sd=1.2,
+                handling_duration=4.0,
+            ),
+        ],
+    )
+
+
+def coffee_making_definition() -> ADLDefinition:
+    """Coffee-making plus per-tool signal profiles."""
+    profiles = {
+        COFFEE_JAR.tool_id: SignalProfile(burst_probability=0.45),
+        # A single press on the switch: brief, like the paper's
+        # electronic-pot step.
+        KETTLE_SWITCH.tool_id: SignalProfile(burst_probability=0.30),
+        MUG.tool_id: SignalProfile(burst_probability=0.45),
+        MILK.tool_id: SignalProfile(burst_probability=0.35),
+        SPOON.tool_id: SignalProfile(burst_probability=0.50),
+    }
+    return ADLDefinition(adl=make_coffee_making(), signal_profiles=profiles)

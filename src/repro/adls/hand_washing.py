@@ -1,0 +1,86 @@
+"""The hand-washing ADL (generalization set).
+
+Hand washing is the activity Boger et al.'s MDP planner (the paper's
+related work [1]) was built for; including it lets the baseline
+comparison bench run CoReDA and the Boger-style planner on the same
+scenario.  Five steps, all accelerometer-instrumented.
+"""
+
+from __future__ import annotations
+
+from repro.adls.library import ADLDefinition
+from repro.core.adl import ADL, ADLStep, SensorType, Tool
+from repro.sensors.signals import SignalProfile
+
+__all__ = [
+    "FAUCET",
+    "SOAP",
+    "BRUSH_HW",
+    "TOWEL_HW",
+    "LOTION",
+    "make_hand_washing",
+    "hand_washing_definition",
+]
+
+#: ToolIDs 21-25.
+FAUCET = Tool(21, "faucet", SensorType.MOTION, picture="faucet.png")
+SOAP = Tool(22, "soap", SensorType.ACCELEROMETER, picture="soap.png")
+BRUSH_HW = Tool(23, "nail-brush", SensorType.ACCELEROMETER, picture="nailbrush.png")
+TOWEL_HW = Tool(24, "hand-towel", SensorType.ACCELEROMETER, picture="handtowel.png")
+LOTION = Tool(25, "lotion", SensorType.ACCELEROMETER, picture="lotion.png")
+
+
+def make_hand_washing() -> ADL:
+    """The hand-washing ADL with canonical step order."""
+    return ADL(
+        "hand-washing",
+        [
+            ADLStep(
+                "Turn on the faucet",
+                FAUCET,
+                typical_duration=5.0,
+                duration_sd=1.0,
+                handling_duration=2.0,
+            ),
+            ADLStep(
+                "Lather with soap",
+                SOAP,
+                typical_duration=15.0,
+                duration_sd=3.0,
+                handling_duration=8.0,
+            ),
+            ADLStep(
+                "Scrub with the nail brush",
+                BRUSH_HW,
+                typical_duration=10.0,
+                duration_sd=2.0,
+                handling_duration=6.0,
+            ),
+            ADLStep(
+                "Dry with the hand towel",
+                TOWEL_HW,
+                typical_duration=8.0,
+                duration_sd=1.5,
+                handling_duration=3.0,
+            ),
+            ADLStep(
+                "Apply lotion",
+                LOTION,
+                typical_duration=7.0,
+                duration_sd=1.5,
+                handling_duration=2.5,
+            ),
+        ],
+    )
+
+
+def hand_washing_definition() -> ADLDefinition:
+    """Hand-washing plus per-tool signal profiles."""
+    profiles = {
+        FAUCET.tool_id: SignalProfile(burst_probability=0.40),
+        SOAP.tool_id: SignalProfile(burst_probability=0.45),
+        BRUSH_HW.tool_id: SignalProfile(burst_probability=0.50),
+        TOWEL_HW.tool_id: SignalProfile(burst_probability=0.35),
+        LOTION.tool_id: SignalProfile(burst_probability=0.30),
+    }
+    return ADLDefinition(adl=make_hand_washing(), signal_profiles=profiles)

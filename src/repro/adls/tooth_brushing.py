@@ -1,0 +1,87 @@
+"""The tooth-brushing ADL (paper Table 2).
+
+Four steps:
+
+1. put toothpaste on the brush  -- accelerometer on the paste tube
+2. brush the teeth              -- accelerometer on the brush
+3. gargle with water            -- accelerometer on the cup
+4. dry with a towel             -- accelerometer on the towel
+
+The towel step is brief, making it the hardest to detect (paper
+Table 3: 85%); squeezing the paste tube is also short (90%); brushing
+and gargling are long, vigorous activities that always detect.
+"""
+
+from __future__ import annotations
+
+from repro.adls.library import ADLDefinition
+from repro.core.adl import ADL, ADLStep, SensorType, Tool
+from repro.sensors.signals import SignalProfile
+
+__all__ = [
+    "PASTE_TUBE",
+    "BRUSH",
+    "CUP",
+    "TOWEL",
+    "make_tooth_brushing",
+    "tooth_brushing_definition",
+]
+
+#: ToolIDs 11-14.
+PASTE_TUBE = Tool(11, "paste-tube", SensorType.ACCELEROMETER, picture="paste.png")
+BRUSH = Tool(12, "toothbrush", SensorType.ACCELEROMETER, picture="brush.png")
+CUP = Tool(13, "cup", SensorType.ACCELEROMETER, picture="cup.png")
+TOWEL = Tool(14, "towel", SensorType.ACCELEROMETER, picture="towel.png")
+
+
+def make_tooth_brushing() -> ADL:
+    """The tooth-brushing ADL with canonical step order."""
+    return ADL(
+        "tooth-brushing",
+        [
+            ADLStep(
+                "Put toothpaste on the brush",
+                PASTE_TUBE,
+                typical_duration=7.0,
+                duration_sd=1.2,
+                handling_duration=2.5,
+            ),
+            ADLStep(
+                "Brush the teeth",
+                BRUSH,
+                typical_duration=45.0,
+                duration_sd=8.0,
+                handling_duration=12.0,
+            ),
+            ADLStep(
+                "Gargle with water",
+                CUP,
+                typical_duration=12.0,
+                duration_sd=2.0,
+                handling_duration=8.0,
+            ),
+            ADLStep(
+                "Dry with a towel",
+                TOWEL,
+                typical_duration=6.0,
+                duration_sd=1.0,
+                handling_duration=1.8,
+            ),
+        ],
+    )
+
+
+def tooth_brushing_definition() -> ADLDefinition:
+    """Tooth-brushing plus calibrated per-tool signal profiles."""
+    profiles = {
+        # A short squeeze of the tube (paper: 90%).
+        PASTE_TUBE.tool_id: SignalProfile(burst_probability=0.27),
+        # Vigorous, long brushing: always detected.
+        BRUSH.tool_id: SignalProfile(burst_probability=0.50),
+        # Filling, swirling and rinsing with the cup: long enough to
+        # always detect.
+        CUP.tool_id: SignalProfile(burst_probability=0.40),
+        # A quick dab with the towel -- the hardest step (paper: 85%).
+        TOWEL.tool_id: SignalProfile(burst_probability=0.30),
+    }
+    return ADLDefinition(adl=make_tooth_brushing(), signal_profiles=profiles)

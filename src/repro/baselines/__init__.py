@@ -1,0 +1,12 @@
+"""Comparison systems: the related-work approaches, implemented."""
+
+from repro.baselines.fixed_sequence import FixedSequenceReminder
+from repro.baselines.mdp_planner import MdpPlannerBaseline, build_guidance_mdp
+from repro.baselines.ngram import NGramPredictor
+
+__all__ = [
+    "FixedSequenceReminder",
+    "MdpPlannerBaseline",
+    "NGramPredictor",
+    "build_guidance_mdp",
+]

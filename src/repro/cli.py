@@ -1,0 +1,201 @@
+"""The ``repro`` command line: train, simulate, inspect, reproduce.
+
+Invoke as ``python -m repro <command>``:
+
+========== ==========================================================
+list-adls  the registered ADLs with their steps, tools and sensors
+train      learn a routine offline, print the curve, optionally save
+           the policy to JSON
+simulate   run live guided episodes against a simulated resident and
+           print the caregiver report
+scenario   replay the paper's Figure 1 tea-making scenario
+report     regenerate every paper table/figure (evalx runner)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adls.library import default_registry
+from repro.core.config import CoReDAConfig
+from repro.core.config_io import load_config
+from repro.core.adl import Routine
+from repro.core.system import CoReDA
+from repro.evalx.tables import ascii_curve, format_table
+from repro.planning.store import save_predictor
+from repro.reporting.caregiver import CaregiverReport
+from repro.resident.dementia import DementiaProfile
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoReDA: context-aware ADL reminding (ICDCS 2007 "
+        "reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-adls", help="list the registered ADLs")
+
+    train = commands.add_parser("train", help="learn a routine offline")
+    train.add_argument("adl", help="ADL name (see list-adls)")
+    train.add_argument("--episodes", type=int, default=120)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--config", help="JSON configuration file")
+    train.add_argument("--routine", help="comma-separated StepIDs, e.g. 1,3,2,4")
+    train.add_argument("--save", help="write the trained policy to this JSON file")
+    train.add_argument("--plot", action="store_true",
+                       help="print the ASCII learning curve")
+
+    simulate = commands.add_parser(
+        "simulate", help="run live guided episodes and report"
+    )
+    simulate.add_argument("adl", help="ADL name (see list-adls)")
+    simulate.add_argument("--episodes", type=int, default=5)
+    simulate.add_argument("--severity", type=float, default=0.4,
+                          help="dementia severity in [0, 1]")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--config", help="JSON configuration file")
+    simulate.add_argument("--adapt", action="store_true",
+                          help="enable online adaptation")
+    simulate.add_argument("--timeline", action="store_true",
+                          help="print the full event timeline")
+
+    commands.add_parser("scenario", help="replay the paper's Figure 1")
+
+    report = commands.add_parser(
+        "report", help="regenerate every paper table and figure"
+    )
+    report.add_argument("--fast", action="store_true")
+    report.add_argument("--output", help="also write the report to a file")
+    return parser
+
+
+def _cmd_list_adls() -> int:
+    registry = default_registry()
+    rows = []
+    for name in registry.names():
+        definition = registry.get(name)
+        for index, step in enumerate(definition.adl.steps):
+            rows.append(
+                (
+                    name if index == 0 else "",
+                    step.step_id,
+                    step.name,
+                    f"{step.tool.sensor.value} on {step.tool.name}",
+                )
+            )
+    print(format_table(["ADL", "StepID", "Step", "Sensor & tool"], rows))
+    return 0
+
+
+def _resolve_config(args: argparse.Namespace) -> CoReDAConfig:
+    if getattr(args, "config", None):
+        return load_config(args.config).with_seed(args.seed)
+    return CoReDAConfig(seed=args.seed)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    definition = registry.get(args.adl)
+    system = CoReDA.build(definition, _resolve_config(args))
+    routine = None
+    if args.routine:
+        step_ids = [int(part) for part in args.routine.split(",")]
+        routine = Routine(definition.adl, step_ids)
+    result = system.train_offline(routine=routine, episodes=args.episodes)
+    print(f"trained {args.adl} on {args.episodes} episodes "
+          f"(routine {list(result.routine.step_ids)})")
+    for criterion, iteration in sorted(result.convergence.items()):
+        status = iteration if iteration is not None else "not reached"
+        print(f"  {criterion:.0%} criterion: iteration {status}")
+    print(f"  final greedy accuracy: {result.curve.greedy_accuracy[-1]:.0%}")
+    if args.plot:
+        print(ascii_curve(result.curve.smoothed_accuracy,
+                          title="smoothed behaviour accuracy"))
+    if args.save:
+        save_predictor(system.predictor, args.save, definition.adl.name)
+        print(f"policy saved to {args.save}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    definition = registry.get(args.adl)
+    system = CoReDA.build(definition, _resolve_config(args))
+    system.train_offline()
+    if args.adapt:
+        system.enable_online_adaptation()
+    reliable = {
+        step.step_id: max(step.handling_duration, 5.0)
+        for step in definition.adl.steps
+    }
+    completed = 0
+    for index in range(args.episodes):
+        resident = system.create_resident(
+            dementia=DementiaProfile.from_severity(args.severity),
+            handling_overrides=reliable,
+            name=f"cli-{index}",
+        )
+        outcome = system.run_episode(resident, horizon=3600.0)
+        completed += int(outcome.completed)
+    print(f"ran {args.episodes} episodes, {completed} completed\n")
+    if args.timeline:
+        from repro.evalx.timeline import render_timeline
+
+        print(render_timeline(system.trace, definition.adl,
+                              title="Event timeline"))
+        print()
+    report = CaregiverReport.from_session(
+        system.session,
+        definition.adl,
+        caregiver_alerts=system.reminding.caregiver_alerts,
+    )
+    print(report.to_text())
+    return 0
+
+
+def _cmd_scenario() -> int:
+    from repro.evalx.scenario import run_tea_scenario
+
+    result = run_tea_scenario()
+    print(result.to_table())
+    print()
+    print(f"structure check: {'PASS' if result.structure_ok() else 'FAIL'}")
+    return 0 if result.structure_ok() else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.evalx.runner import run_all
+
+    text = run_all(fast=args.fast)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-adls":
+        return _cmd_list_adls()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "scenario":
+        return _cmd_scenario()
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

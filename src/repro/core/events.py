@@ -1,0 +1,126 @@
+"""Typed events exchanged between CoReDA subsystems.
+
+Figure 2 of the paper shows three subsystems connected by streams of
+tool ids, step ids and prompts.  We make each message an immutable
+dataclass so the event bus stays self-describing and traceable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.adl import ReminderLevel
+
+__all__ = [
+    "TriggerReason",
+    "SensorFrameEvent",
+    "ToolUsageEvent",
+    "StepEvent",
+    "PromptRequestEvent",
+    "ReminderEvent",
+    "PraiseEvent",
+    "LEDCommandEvent",
+    "DisplayEvent",
+    "EpisodeCompletedEvent",
+]
+
+
+class TriggerReason(enum.Enum):
+    """The two reminder-trigger situations named in the paper."""
+
+    STALL = "user did not use the expected tool for a certain moment"
+    WRONG_TOOL = "user incorrectly used another tool"
+
+
+@dataclass(frozen=True)
+class SensorFrameEvent:
+    """A radio frame from a PAVENET node reaching the base station."""
+
+    time: float
+    node_uid: int
+    sequence: int
+
+
+@dataclass(frozen=True)
+class ToolUsageEvent:
+    """The sensing subsystem decided a tool is being used."""
+
+    time: float
+    tool_id: int
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """A change of the user's current ADL step (StepID 0 = idle)."""
+
+    time: float
+    step_id: int
+    previous_step_id: int
+
+
+@dataclass(frozen=True)
+class PromptRequestEvent:
+    """The planning subsystem asks the reminding subsystem to prompt.
+
+    ``tool_id`` is the tool that should be used next; ``level`` the
+    reminding level the learned policy selected.
+    """
+
+    time: float
+    tool_id: int
+    level: ReminderLevel
+    reason: TriggerReason
+    wrong_tool_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReminderEvent:
+    """A reminder actually delivered to the user (display + LEDs)."""
+
+    time: float
+    tool_id: int
+    level: ReminderLevel
+    reason: TriggerReason
+    message: str
+    picture: str
+    wrong_tool_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PraiseEvent:
+    """Praise after the user correctly followed a prompt."""
+
+    time: float
+    step_id: int
+    message: str
+
+
+@dataclass(frozen=True)
+class LEDCommandEvent:
+    """A blink command sent down to a node's LEDs."""
+
+    time: float
+    node_uid: int
+    color: str
+    blinks: int
+
+
+@dataclass(frozen=True)
+class DisplayEvent:
+    """Text and/or picture shown on the care-home display."""
+
+    time: float
+    text: str
+    picture: str = ""
+
+
+@dataclass(frozen=True)
+class EpisodeCompletedEvent:
+    """The terminal step of the current ADL routine was reached."""
+
+    time: float
+    adl_name: str
+    steps_taken: int
+    reminders_issued: int

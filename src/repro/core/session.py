@@ -1,0 +1,78 @@
+"""Session logging: per-episode records of a live deployment.
+
+Subscribes to the bus and aggregates what caregivers would care
+about: completions, reminders per episode, praises, caregiver alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.bus import EventBus
+from repro.core.events import (
+    EpisodeCompletedEvent,
+    PraiseEvent,
+    ReminderEvent,
+)
+
+__all__ = ["EpisodeRecord", "SessionLog"]
+
+
+@dataclass(frozen=True)
+class EpisodeRecord:
+    """Summary of one completed episode."""
+
+    time: float
+    adl_name: str
+    steps_taken: int
+    reminders_issued: int
+
+
+@dataclass
+class SessionLog:
+    """Rolling aggregate over a deployment session."""
+
+    episodes: List[EpisodeRecord] = field(default_factory=list)
+    reminders: List[ReminderEvent] = field(default_factory=list)
+    praises: int = 0
+
+    def attach(self, bus: EventBus) -> "SessionLog":
+        """Subscribe to the session's event bus; returns self."""
+        bus.subscribe(EpisodeCompletedEvent, self._on_completed)
+        bus.subscribe(ReminderEvent, self._on_reminder)
+        bus.subscribe(PraiseEvent, self._on_praise)
+        return self
+
+    def _on_completed(self, event: EpisodeCompletedEvent) -> None:
+        self.episodes.append(
+            EpisodeRecord(
+                time=event.time,
+                adl_name=event.adl_name,
+                steps_taken=event.steps_taken,
+                reminders_issued=event.reminders_issued,
+            )
+        )
+
+    def _on_reminder(self, event: ReminderEvent) -> None:
+        self.reminders.append(event)
+
+    def _on_praise(self, event: PraiseEvent) -> None:
+        self.praises += 1
+
+    @property
+    def completions(self) -> int:
+        """Episodes completed during the session."""
+        return len(self.episodes)
+
+    def reminders_per_episode(self) -> float:
+        """Mean reminders per completed episode (0.0 if none)."""
+        if not self.episodes:
+            return 0.0
+        return sum(e.reminders_issued for e in self.episodes) / len(self.episodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionLog(episodes={len(self.episodes)}, "
+            f"reminders={len(self.reminders)}, praises={self.praises})"
+        )

@@ -1,0 +1,73 @@
+"""The evaluation harness: every paper table and figure, regenerable.
+
+One module per artifact:
+
+========================  =========================================
+``hardware_table``        Table 1 (PAVENET) and Table 2 (sensor map)
+``extract_precision``     Table 3 (extract precision of ADL step)
+``learning_curve``        Figure 4 (TD(λ) learning curve)
+``predict_precision``     Table 4 (predict precision of ADL step)
+``scenario``              Figure 1 (the typical tea-making scenario)
+``baseline_compare``      personalization vs pre-planned baselines
+``ablations``             λ / reward / detector / Dyna / radio / SARSA
+``runner``                run everything, write the report
+========================  =========================================
+"""
+
+from repro.evalx.baseline_compare import (
+    BaselineComparisonResult,
+    BaselineRow,
+    run_baseline_comparison,
+)
+from repro.evalx.burden import BurdenResult, BurdenRow, run_burden_study
+from repro.evalx.extract_precision import (
+    ExtractPrecisionResult,
+    StepPrecision,
+    run_extract_precision,
+)
+from repro.evalx.hardware_table import table1_hardware, table2_sensor_map
+from repro.evalx.learning_curve import (
+    CurveRun,
+    LearningCurveResult,
+    run_learning_curve,
+)
+from repro.evalx.predict_precision import (
+    PredictPrecisionResult,
+    PredictRow,
+    run_predict_precision,
+)
+from repro.evalx.runner import run_all
+from repro.evalx.scenario import ScenarioResult, TimelineEvent, run_tea_scenario
+from repro.evalx.sensitivity import alpha_sweep, epsilon_sweep
+from repro.evalx.tables import ascii_curve, format_table
+from repro.evalx.timeline import render_timeline, timeline_rows
+
+__all__ = [
+    "BaselineComparisonResult",
+    "BaselineRow",
+    "BurdenResult",
+    "BurdenRow",
+    "CurveRun",
+    "ExtractPrecisionResult",
+    "LearningCurveResult",
+    "PredictPrecisionResult",
+    "PredictRow",
+    "ScenarioResult",
+    "StepPrecision",
+    "TimelineEvent",
+    "alpha_sweep",
+    "ascii_curve",
+    "epsilon_sweep",
+    "format_table",
+    "run_all",
+    "run_baseline_comparison",
+    "run_burden_study",
+    "run_extract_precision",
+    "run_learning_curve",
+    "run_predict_precision",
+    "run_tea_scenario",
+    "render_timeline",
+    "timeline_rows",
+    "table1_hardware",
+    "table2_sensor_map",
+]

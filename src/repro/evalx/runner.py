@@ -1,0 +1,134 @@
+"""One-shot experiment runner: regenerate everything the paper reports.
+
+``python -m repro.evalx.runner`` prints every table and figure
+(Tables 1-4, Figures 1 and 4) plus the ablations, and can write the
+whole report to a file -- EXPERIMENTS.md is generated this way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adls.library import default_registry
+from repro.evalx.ablations import (
+    adaptation_speed,
+    detector_sweep,
+    dyna_sweep,
+    escalation_ablation,
+    lambda_sweep,
+    multi_routine_comparison,
+    radio_sweep,
+    sarsa_comparison,
+    wrong_reward_sweep,
+)
+from repro.evalx.baseline_compare import run_baseline_comparison
+from repro.evalx.burden import run_burden_study
+from repro.evalx.extract_precision import run_extract_precision
+from repro.evalx.hardware_table import table1_hardware, table2_sensor_map
+from repro.evalx.learning_curve import run_learning_curve
+from repro.evalx.predict_precision import run_predict_precision
+from repro.evalx.scenario import run_tea_scenario
+from repro.evalx.sensitivity import alpha_sweep, epsilon_sweep
+
+__all__ = ["run_all"]
+
+
+def run_all(fast: bool = False, include_ablations: bool = True) -> str:
+    """Run every experiment; returns the full report text.
+
+    ``fast`` trims sample counts and seed sets (used by smoke tests);
+    the defaults match the paper's sample sizes.
+    """
+    registry = default_registry()
+    paper_adls = [registry.get("tooth-brushing"), registry.get("tea-making")]
+    samples = 10 if fast else 40
+    seeds = tuple(range(3)) if fast else tuple(range(10))
+    sections: List[str] = []
+
+    sections.append(table1_hardware())
+    sections.append(table2_sensor_map(paper_adls))
+
+    extract = run_extract_precision(paper_adls, samples_per_step=samples)
+    sections.append(extract.to_table())
+
+    for definition in paper_adls:
+        curve = run_learning_curve(definition.adl, seeds=seeds)
+        sections.append(curve.to_table())
+        sections.append(curve.representative_plot())
+
+    predict = run_predict_precision(
+        paper_adls, samples_per_adl=12 if fast else 30
+    )
+    sections.append(predict.to_table())
+
+    scenario = run_tea_scenario()
+    sections.append(scenario.to_table())
+    sections.append(
+        f"Scenario structure check: {'PASS' if scenario.structure_ok() else 'FAIL'}"
+    )
+
+    tea = registry.get("tea-making").adl
+    baseline = run_baseline_comparison(
+        tea, n_users=5 if fast else 20, episodes=40 if fast else 120
+    )
+    sections.append(baseline.to_table())
+
+    burden = run_burden_study(
+        registry.get("tea-making"), episodes=4 if fast else 10
+    )
+    sections.append(burden.to_table())
+
+    if include_ablations:
+        ablation_seeds = tuple(range(2)) if fast else tuple(range(8))
+        sections.append(lambda_sweep(tea, seeds=ablation_seeds))
+        sections.append(wrong_reward_sweep(tea, seeds=ablation_seeds[:3] or (0,)))
+        sections.append(detector_sweep(trials=60 if fast else 300))
+        sections.append(dyna_sweep(tea, seeds=ablation_seeds))
+        sections.append(
+            radio_sweep(
+                registry.get("tea-making"),
+                samples_per_step=8 if fast else 25,
+            )
+        )
+        sections.append(sarsa_comparison(tea, seeds=ablation_seeds))
+        sections.append(alpha_sweep(tea, seeds=ablation_seeds))
+        sections.append(epsilon_sweep(tea, seeds=ablation_seeds))
+        sections.append(
+            multi_routine_comparison(
+                episodes_per_routine=20 if fast else 60
+            )
+        )
+        sections.append(
+            adaptation_speed(tea, seeds=ablation_seeds[:3] or (0,))
+        )
+        sections.append(
+            escalation_ablation(
+                registry.get("tea-making"), episodes=3 if fast else 8
+            )
+        )
+
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every CoReDA paper table and figure."
+    )
+    parser.add_argument("--fast", action="store_true", help="small sample counts")
+    parser.add_argument(
+        "--no-ablations", action="store_true", help="skip the ablation sweeps"
+    )
+    parser.add_argument("--output", help="also write the report to this file")
+    args = parser.parse_args(argv)
+    report = run_all(fast=args.fast, include_ablations=not args.no_ablations)
+    sys.stdout.write(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

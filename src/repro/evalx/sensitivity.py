@@ -1,0 +1,126 @@
+"""Hyper-parameter sensitivity sweeps (learning rate α, exploration ε).
+
+The paper notes the operator "can set the parameters (converging
+condition, learning rate, etc.)" to trade convergence for continual
+adaptation.  These sweeps chart that trade-off: how iterations-to-
+converge and final policy quality move with α and with the ε
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adl import ADL
+from repro.core.config import PlanningConfig
+from repro.core.metrics import mean
+from repro.evalx.tables import format_table
+from repro.planning.trainer import RoutineTrainer
+
+__all__ = ["alpha_sweep", "epsilon_sweep"]
+
+
+def _sweep(
+    adl: ADL,
+    configs: Sequence[Tuple[str, PlanningConfig]],
+    seeds: Sequence[int],
+    episodes: int,
+    criterion: float,
+) -> List[Tuple[str, Optional[float], float, float]]:
+    """(label, mean iterations, converged rate, final greedy accuracy)."""
+    routine = adl.canonical_routine()
+    log = [list(routine.step_ids)] * episodes
+    rows = []
+    for label, config in configs:
+        iterations: List[int] = []
+        final: List[float] = []
+        for seed in seeds:
+            trainer = RoutineTrainer(adl, config, rng=np.random.default_rng(seed))
+            result = trainer.train(log, routine=routine, criteria=(criterion,))
+            if result.convergence[criterion] is not None:
+                iterations.append(result.convergence[criterion])
+            final.append(result.curve.greedy_accuracy[-1])
+        rows.append(
+            (
+                label,
+                mean(iterations) if iterations else None,
+                len(iterations) / len(seeds),
+                mean(final),
+            )
+        )
+    return rows
+
+
+def alpha_sweep(
+    adl: ADL,
+    alphas: Sequence[float] = (0.05, 0.1, 0.2, 0.5, 1.0),
+    seeds: Sequence[int] = tuple(range(8)),
+    episodes: int = 120,
+    criterion: float = 0.95,
+) -> str:
+    """Learning rate α vs convergence speed and final accuracy."""
+    configs = [
+        (f"{alpha:.2f}", replace(PlanningConfig(), learning_rate=alpha))
+        for alpha in alphas
+    ]
+    rows = _sweep(adl, configs, seeds, episodes, criterion)
+    return format_table(
+        ["alpha", "Mean iterations (95%)", "Converged", "Final accuracy"],
+        [
+            (
+                label,
+                f"{iterations:.1f}" if iterations is not None else "-",
+                f"{rate:.0%}",
+                f"{accuracy:.0%}",
+            )
+            for label, iterations, rate, accuracy in rows
+        ],
+        title=f"Sensitivity: learning rate ({adl.name})",
+    )
+
+
+def epsilon_sweep(
+    adl: ADL,
+    schedules: Sequence[Tuple[float, float]] = (
+        (0.1, 0.978),
+        (0.2, 0.978),
+        (0.4, 0.978),
+        (0.4, 1.0),
+    ),
+    seeds: Sequence[int] = tuple(range(8)),
+    episodes: int = 120,
+    criterion: float = 0.95,
+) -> str:
+    """ε schedule vs convergence: the always-adapting mode in numbers.
+
+    The ``(0.4, 1.0)`` row is the paper's "update all the while"
+    setting (no ε decay): behaviour accuracy then plateaus *below*
+    the criterion -- the system keeps exploring forever, never
+    "converges", yet its greedy policy is perfect.  Exactly the
+    trade-off section 3.2 describes.
+    """
+    configs = [
+        (
+            f"eps0={epsilon} decay={decay}",
+            replace(PlanningConfig(), epsilon=epsilon, epsilon_decay=decay),
+        )
+        for epsilon, decay in schedules
+    ]
+    rows = _sweep(adl, configs, seeds, episodes, criterion)
+    return format_table(
+        ["epsilon schedule", "Mean iterations (95%)", "Converged",
+         "Final accuracy"],
+        [
+            (
+                label,
+                f"{iterations:.1f}" if iterations is not None else "-",
+                f"{rate:.0%}",
+                f"{accuracy:.0%}",
+            )
+            for label, iterations, rate, accuracy in rows
+        ],
+        title=f"Sensitivity: exploration schedule ({adl.name})",
+    )

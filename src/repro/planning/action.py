@@ -1,0 +1,36 @@
+"""The planning action space (paper section 2.2).
+
+    "An action a_i = <ToolID_{i+1}, Level_{i+1}> is the prompt that
+    will be sent to the reminding subsystem"
+
+Every (tool of the ADL) × (minimal | specific) pair is an action.  For
+a 4-step ADL that is 8 actions per state -- small enough for exact
+tabular learning, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.core.adl import ADL, ReminderLevel
+
+__all__ = ["PromptAction", "action_space"]
+
+
+class PromptAction(NamedTuple):
+    """⟨ToolID to prompt next, reminding level⟩."""
+
+    tool_id: int
+    level: ReminderLevel
+
+    def __repr__(self) -> str:
+        return f"<{self.tool_id},{self.level.value}>"
+
+
+def action_space(adl: ADL) -> List[PromptAction]:
+    """All prompt actions of an ADL, in deterministic order."""
+    actions = []
+    for step in adl.steps:
+        for level in (ReminderLevel.MINIMAL, ReminderLevel.SPECIFIC):
+            actions.append(PromptAction(step.step_id, level))
+    return actions

@@ -1,0 +1,78 @@
+"""Next-step prediction from a learned policy (paper section 3.3).
+
+After training converges, the greedy policy over the Q-table *is* the
+user's personalized routine: in state ⟨StepID_{i-1}, StepID_i⟩ the
+greedy action names the tool of step i+1 (and the reminding level the
+reward shaping selected, which is MINIMAL wherever both levels guide
+correctly).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.core.errors import NotConvergedError
+from repro.planning.action import PromptAction
+from repro.planning.state import PlanningState
+from repro.planning.trainer import TrainingResult
+from repro.rl.qtable import QTable
+
+__all__ = ["NextStepPredictor"]
+
+
+class NextStepPredictor:
+    """Greedy next-step lookup over a trained Q-table."""
+
+    def __init__(
+        self,
+        q: QTable,
+        actions: Sequence[PromptAction],
+        converged: bool = True,
+    ) -> None:
+        if not actions:
+            raise ValueError("predictor needs a non-empty action space")
+        self.q = q
+        self.actions: Tuple[PromptAction, ...] = tuple(actions)
+        self.converged = converged
+
+    @classmethod
+    def from_training(
+        cls,
+        result: TrainingResult,
+        criterion: float = 0.95,
+        require_converged: bool = True,
+    ) -> "NextStepPredictor":
+        """Build a predictor from a :class:`TrainingResult`.
+
+        With ``require_converged`` (the default), refuses to build
+        from a run that never met ``criterion`` -- prompting a
+        dementia patient from a half-learned policy is exactly what a
+        deployment must not do.
+        """
+        converged = result.converged(criterion)
+        if require_converged and not converged:
+            raise NotConvergedError(
+                f"training never reached the {criterion:.0%} criterion "
+                f"(convergence map: {result.convergence})"
+            )
+        return cls(result.learner.q, result.actions, converged=converged)
+
+    def predict(
+        self, state: Union[PlanningState, Tuple[int, int]]
+    ) -> PromptAction:
+        """The prompt for ``state`` = ⟨previous StepID, current StepID⟩."""
+        if not isinstance(state, PlanningState):
+            state = PlanningState(*state)
+        return self.q.best_action(state, self.actions)
+
+    def predict_next_tool(
+        self, previous_step_id: int, current_step_id: int
+    ) -> int:
+        """Just the ToolID of the predicted next step."""
+        return self.predict((previous_step_id, current_step_id)).tool_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NextStepPredictor(actions={len(self.actions)}, "
+            f"converged={self.converged})"
+        )

@@ -1,0 +1,91 @@
+"""Policy persistence: save and restore trained guidance policies.
+
+A deployed reminder system restarts (power cuts, maintenance) without
+re-collecting 120 training episodes.  The store serializes a trained
+Q-table -- states are ⟨previous, current⟩ StepID pairs, actions are
+⟨ToolID, level⟩ prompts -- as a small JSON document, versioned and
+validated against the target ADL on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.adl import ADL, ReminderLevel
+from repro.core.errors import CoReDAError
+from repro.planning.action import PromptAction, action_space
+from repro.planning.predictor import NextStepPredictor
+from repro.planning.state import PlanningState
+from repro.rl.qtable import QTable
+
+__all__ = ["save_predictor", "load_predictor", "FORMAT_VERSION"]
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def save_predictor(
+    predictor: NextStepPredictor,
+    path: Union[str, Path],
+    adl_name: str,
+) -> None:
+    """Write ``predictor``'s Q-table to ``path`` as JSON."""
+    entries = []
+    for (state, action), value in sorted(
+        ((key, predictor.q.value(*key)) for key in predictor.q.known_pairs()),
+        key=lambda item: repr(item[0]),
+    ):
+        entries.append(
+            {
+                "previous": int(state.previous),
+                "current": int(state.current),
+                "tool_id": int(action.tool_id),
+                "level": action.level.value,
+                "q": float(value),
+            }
+        )
+    document = {
+        "format": FORMAT_VERSION,
+        "adl": adl_name,
+        "initial_q": predictor.q.initial_value,
+        "converged": predictor.converged,
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_predictor(path: Union[str, Path], adl: ADL) -> NextStepPredictor:
+    """Restore a predictor previously written by :func:`save_predictor`.
+
+    Raises :class:`CoReDAError` on version mismatch, on an ADL-name
+    mismatch, or when an entry references a tool the ADL does not
+    have -- a stale policy file must never silently drive prompts for
+    the wrong deployment.
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != FORMAT_VERSION:
+        raise CoReDAError(
+            f"policy file {path} has format {document.get('format')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    if document.get("adl") != adl.name:
+        raise CoReDAError(
+            f"policy file {path} was trained for ADL {document.get('adl')!r}, "
+            f"not {adl.name!r}"
+        )
+    q = QTable(initial_value=float(document.get("initial_q", 0.0)))
+    for entry in document["entries"]:
+        tool_id = int(entry["tool_id"])
+        if not adl.has_step(tool_id):
+            raise CoReDAError(
+                f"policy file {path} prompts unknown tool {tool_id} "
+                f"for ADL {adl.name!r}"
+            )
+        state = PlanningState(int(entry["previous"]), int(entry["current"]))
+        action = PromptAction(tool_id, ReminderLevel(entry["level"]))
+        q.set(state, action, float(entry["q"]))
+    return NextStepPredictor(
+        q, action_space(adl), converged=bool(document.get("converged", False))
+    )

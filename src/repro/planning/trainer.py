@@ -1,0 +1,238 @@
+"""Offline routine training (paper section 3.2).
+
+The paper trains on 120 recorded samples per ADL, each "a complete
+process of an ADL", and plots a learning curve with convergence read
+off at the 95% and 98% criteria.  :class:`RoutineTrainer` reproduces
+that procedure:
+
+* one **iteration** = one training sample (episode) replayed through
+  the learner, the behaviour policy choosing a prompt at every step
+  and the CoReDA reward function scoring it against the observed next
+  step;
+* the per-iteration **accuracy** is the fraction of prompts issued
+  during that episode whose tool matched the step the user actually
+  took next -- this is what a deployed system can measure without
+  ground truth, and (because the behaviour policy keeps exploring) it
+  converges gradually, giving the paper's curve its shape;
+* a rolling mean smooths the quantised per-episode values before the
+  convergence detector is applied;
+* the **greedy accuracy** (probe of the greedy policy against the true
+  routine) is also recorded -- it is the quantity behind Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adl import ADL, ReminderLevel, Routine
+from repro.core.config import PlanningConfig
+from repro.planning.action import PromptAction, action_space
+from repro.planning.rewards_coreda import CoReDAReward
+from repro.planning.state import episode_states
+from repro.rl.convergence import convergence_iteration
+from repro.rl.dyna import DynaQLearner
+from repro.rl.policies import EpsilonGreedyPolicy
+from repro.rl.schedules import ExponentialDecay
+from repro.rl.tdlambda import TDLambdaQLearner
+
+__all__ = [
+    "LearningCurve",
+    "TrainingResult",
+    "RoutineTrainer",
+    "replay_episode",
+]
+
+
+def replay_episode(
+    learner,
+    actions: Sequence[PromptAction],
+    episode: Sequence[int],
+    reward_fn: CoReDAReward,
+    rng: np.random.Generator,
+    iteration: int = 0,
+) -> Tuple[int, int]:
+    """Replay one logged episode through a learner.
+
+    The behaviour policy chooses a prompt per transition, the CoReDA
+    reward scores it against the observed next step, and prompts that
+    were not followed are flagged off-target (strict Watkins cut).
+    Returns ``(correct_prompts, total_prompts)``.
+
+    Shared by offline training (:class:`RoutineTrainer`) and online
+    adaptation (:class:`repro.planning.online.OnlineAdaptation`).
+    """
+    states = episode_states(list(episode))
+    learner.begin_episode()
+    correct = 0
+    total = 0
+    for index in range(len(states) - 1):
+        state, next_state = states[index], states[index + 1]
+        action, exploratory = learner.select_action(
+            state, actions, rng, step=iteration
+        )
+        reward = reward_fn.reward(state, action, next_state)
+        done = next_state.current == reward_fn.terminal_step_id
+        off_target = exploratory or action.tool_id != next_state.current
+        if isinstance(learner, DynaQLearner):
+            learner.observe(
+                state,
+                action,
+                reward,
+                next_state,
+                actions,
+                done,
+                rng=rng,
+                exploratory=off_target,
+            )
+        else:
+            learner.observe(
+                state, action, reward, next_state, actions, done,
+                exploratory=off_target,
+            )
+        total += 1
+        if action.tool_id == next_state.current:
+            correct += 1
+    return correct, total
+
+
+@dataclass
+class LearningCurve:
+    """Accuracy series recorded during training."""
+
+    #: Raw per-episode behaviour accuracy (prompts matching next steps).
+    behaviour_accuracy: List[float] = field(default_factory=list)
+    #: Rolling mean of ``behaviour_accuracy`` (window set by trainer).
+    smoothed_accuracy: List[float] = field(default_factory=list)
+    #: Greedy-policy probe against the true routine, per episode.
+    greedy_accuracy: List[float] = field(default_factory=list)
+    #: Fraction of greedy prompts at MINIMAL level, per episode.
+    minimal_fraction: List[float] = field(default_factory=list)
+
+    def iterations(self) -> int:
+        """Number of training iterations recorded."""
+        return len(self.behaviour_accuracy)
+
+
+@dataclass
+class TrainingResult:
+    """Everything the evaluation needs after a training run."""
+
+    curve: LearningCurve
+    #: criterion -> 1-based iteration of convergence (None = never).
+    convergence: Dict[float, Optional[int]]
+    routine: Routine
+    learner: object
+    actions: Tuple[PromptAction, ...]
+
+    def converged(self, criterion: float) -> bool:
+        """True if the run converged at ``criterion``."""
+        return self.convergence.get(criterion) is not None
+
+
+class RoutineTrainer:
+    """Trains a learner on logged ADL episodes, recording the curve.
+
+    ``learner`` defaults to Watkins TD(λ) Q-learning configured from
+    ``config`` with an exponentially decaying ε-greedy behaviour
+    policy; a :class:`~repro.rl.dyna.DynaQLearner` may be passed for
+    the fast-learning ablation.
+    """
+
+    #: Rolling-mean window applied before convergence detection.
+    SMOOTHING_WINDOW = 10
+
+    def __init__(
+        self,
+        adl: ADL,
+        config: Optional[PlanningConfig] = None,
+        learner: Optional[object] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.adl = adl
+        self.config = config if config is not None else PlanningConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        if learner is None:
+            policy = EpsilonGreedyPolicy(
+                ExponentialDecay(self.config.epsilon, self.config.epsilon_decay)
+            )
+            learner = TDLambdaQLearner(
+                learning_rate=self.config.learning_rate,
+                discount=self.config.discount,
+                trace_decay=self.config.trace_decay,
+                policy=policy,
+                initial_q=self.config.initial_q,
+            )
+        self.learner = learner
+        self.actions: Tuple[PromptAction, ...] = tuple(action_space(adl))
+
+    def train(
+        self,
+        episodes: Sequence[Sequence[int]],
+        routine: Optional[Routine] = None,
+        criteria: Sequence[float] = (0.95, 0.98),
+    ) -> TrainingResult:
+        """Replay ``episodes`` through the learner.
+
+        ``routine`` is the ground-truth personal routine used for the
+        greedy probe; it defaults to the first episode (the paper's
+        training samples are all complete correct runs).
+        """
+        if not episodes:
+            raise ValueError("need at least one training episode")
+        if routine is None:
+            routine = Routine(self.adl, episodes[0])
+        reward_fn = CoReDAReward(self.config, routine.terminal_step_id)
+        curve = LearningCurve()
+        for iteration, episode in enumerate(episodes):
+            accuracy = self._train_episode(episode, reward_fn, iteration)
+            curve.behaviour_accuracy.append(accuracy)
+            window = curve.behaviour_accuracy[-self.SMOOTHING_WINDOW:]
+            curve.smoothed_accuracy.append(sum(window) / len(window))
+            greedy, minimal = self._probe_greedy(routine)
+            curve.greedy_accuracy.append(greedy)
+            curve.minimal_fraction.append(minimal)
+        convergence = {
+            criterion: convergence_iteration(
+                curve.smoothed_accuracy,
+                criterion,
+                patience=self.config.convergence_patience,
+            )
+            for criterion in criteria
+        }
+        return TrainingResult(
+            curve=curve,
+            convergence=convergence,
+            routine=routine,
+            learner=self.learner,
+            actions=self.actions,
+        )
+
+    def _train_episode(self, episode, reward_fn: CoReDAReward, iteration: int) -> float:
+        """One pass over one logged episode; returns behaviour accuracy."""
+        correct, total = replay_episode(
+            self.learner, self.actions, episode, reward_fn, self._rng, iteration
+        )
+        if total == 0:
+            return 1.0
+        return correct / total
+
+    def _probe_greedy(self, routine: Routine) -> Tuple[float, float]:
+        """Greedy accuracy and minimal-level fraction on the routine."""
+        states = episode_states(list(routine.step_ids))
+        correct = 0
+        minimal = 0
+        total = len(states) - 1
+        if total <= 0:
+            return 1.0, 1.0
+        for index in range(total):
+            state = states[index]
+            expected = states[index + 1].current
+            action = self.learner.greedy_action(state, self.actions)
+            if action.tool_id == expected:
+                correct += 1
+            if action.level is ReminderLevel.MINIMAL:
+                minimal += 1
+        return correct / total, minimal / total

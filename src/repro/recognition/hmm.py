@@ -1,0 +1,146 @@
+"""A discrete hidden Markov model (log-space, numpy).
+
+The paper's related work (Philipose et al., "Inferring activities
+from interactions with objects") recognizes ADLs with probabilistic
+inference over object-touch observations.  This module provides that
+substrate: a classic discrete HMM with forward filtering, sequence
+log-likelihood and Viterbi decoding, numerically stable in log space.
+
+Used by :mod:`repro.recognition.repair` (fixing sensing dropouts in
+training logs) and :mod:`repro.recognition.recognizer` (identifying
+which ADL a usage stream belongs to).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DiscreteHMM"]
+
+#: Additive floor before taking logs, so impossible-but-observed
+#: events degrade gracefully instead of producing -inf everywhere.
+_EPS = 1e-12
+
+
+class DiscreteHMM:
+    """An HMM with ``n_states`` hidden states, ``n_symbols`` outputs.
+
+    Parameters are plain row-stochastic numpy arrays:
+
+    * ``prior``      shape (n_states,)
+    * ``transition`` shape (n_states, n_states); ``transition[i, j]``
+      = P(next = j | current = i)
+    * ``emission``   shape (n_states, n_symbols); ``emission[i, k]``
+      = P(observe k | state = i)
+    """
+
+    def __init__(
+        self,
+        prior: np.ndarray,
+        transition: np.ndarray,
+        emission: np.ndarray,
+    ) -> None:
+        prior = np.asarray(prior, dtype=float)
+        transition = np.asarray(transition, dtype=float)
+        emission = np.asarray(emission, dtype=float)
+        n_states = prior.shape[0]
+        if transition.shape != (n_states, n_states):
+            raise ValueError(
+                f"transition must be ({n_states}, {n_states}), "
+                f"got {transition.shape}"
+            )
+        if emission.shape[0] != n_states:
+            raise ValueError(
+                f"emission must have {n_states} rows, got {emission.shape[0]}"
+            )
+        for name, matrix in (("prior", prior[None, :]),
+                             ("transition", transition),
+                             ("emission", emission)):
+            sums = matrix.sum(axis=1)
+            if not np.allclose(sums, 1.0, atol=1e-6):
+                raise ValueError(f"{name} rows must sum to 1 (got {sums})")
+        self.n_states = n_states
+        self.n_symbols = emission.shape[1]
+        self._log_prior = np.log(prior + _EPS)
+        self._log_transition = np.log(transition + _EPS)
+        self._log_emission = np.log(emission + _EPS)
+
+    # ------------------------------------------------------------------
+    # inference
+
+    def log_likelihood(self, observations: Sequence[int]) -> float:
+        """log P(observations) under the model (0-length -> 0.0)."""
+        alpha = self._forward(observations)
+        if alpha is None:
+            return 0.0
+        return float(_logsumexp(alpha[-1]))
+
+    def filter(self, observations: Sequence[int]) -> np.ndarray:
+        """P(state_T | observations) -- the filtering distribution."""
+        alpha = self._forward(observations)
+        if alpha is None:
+            return np.exp(self._log_prior - _logsumexp(self._log_prior))
+        last = alpha[-1]
+        return np.exp(last - _logsumexp(last))
+
+    def viterbi(self, observations: Sequence[int]) -> Tuple[List[int], float]:
+        """Most likely state path and its log probability."""
+        observations = list(observations)
+        if not observations:
+            return [], 0.0
+        self._check_symbols(observations)
+        n = len(observations)
+        delta = np.empty((n, self.n_states))
+        backpointer = np.zeros((n, self.n_states), dtype=int)
+        delta[0] = self._log_prior + self._log_emission[:, observations[0]]
+        for t in range(1, n):
+            scores = delta[t - 1][:, None] + self._log_transition
+            backpointer[t] = scores.argmax(axis=0)
+            delta[t] = (
+                scores.max(axis=0) + self._log_emission[:, observations[t]]
+            )
+        path = [int(delta[-1].argmax())]
+        for t in range(n - 1, 0, -1):
+            path.append(int(backpointer[t][path[-1]]))
+        path.reverse()
+        return path, float(delta[-1].max())
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _forward(self, observations: Sequence[int]):
+        observations = list(observations)
+        if not observations:
+            return None
+        self._check_symbols(observations)
+        alpha = np.empty((len(observations), self.n_states))
+        alpha[0] = self._log_prior + self._log_emission[:, observations[0]]
+        for t in range(1, len(observations)):
+            alpha[t] = (
+                _logsumexp_matrix(alpha[t - 1][:, None] + self._log_transition)
+                + self._log_emission[:, observations[t]]
+            )
+        return alpha
+
+    def _check_symbols(self, observations: Sequence[int]) -> None:
+        for symbol in observations:
+            if not 0 <= symbol < self.n_symbols:
+                raise ValueError(
+                    f"observation {symbol} outside [0, {self.n_symbols})"
+                )
+
+
+def _logsumexp(values: np.ndarray) -> float:
+    peak = values.max()
+    if np.isneginf(peak):
+        return float("-inf")
+    return float(peak + np.log(np.exp(values - peak).sum()))
+
+
+def _logsumexp_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Column-wise logsumexp of a (states, states) score matrix."""
+    peak = matrix.max(axis=0)
+    safe = np.where(np.isneginf(peak), 0.0, peak)
+    return safe + np.log(np.exp(matrix - safe[None, :]).sum(axis=0))

@@ -1,0 +1,5 @@
+"""Caregiver-facing reporting over deployment sessions."""
+
+from repro.reporting.caregiver import CaregiverReport, StepStruggle
+
+__all__ = ["CaregiverReport", "StepStruggle"]

@@ -1,0 +1,140 @@
+"""Caregiver summaries of deployment sessions.
+
+The paper's goal is reducing caregiver burden; the operational
+artifact a care home needs from a reminder system is the *summary*:
+which activities were completed, how much prompting each needed,
+which steps the resident struggles with, and whether the system ever
+gave up (a caregiver alert).  :class:`CaregiverReport` builds that
+from a :class:`~repro.core.session.SessionLog` plus the reminding
+subsystem's counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.adl import ADL, ReminderLevel
+from repro.core.events import TriggerReason
+from repro.core.session import SessionLog
+from repro.evalx.tables import format_table
+
+__all__ = ["StepStruggle", "CaregiverReport"]
+
+
+@dataclass(frozen=True)
+class StepStruggle:
+    """How often one step needed prompting."""
+
+    step_name: str
+    reminders: int
+    stalls: int
+    wrong_tools: int
+
+
+@dataclass
+class CaregiverReport:
+    """A session-level summary for the care team."""
+
+    adl_name: str
+    episodes_completed: int
+    reminders_total: int
+    reminders_per_episode: float
+    minimal_reminders: int
+    specific_reminders: int
+    stall_reminders: int
+    wrong_tool_reminders: int
+    praises: int
+    caregiver_alerts: int
+    struggles: List[StepStruggle] = field(default_factory=list)
+
+    @classmethod
+    def from_session(
+        cls,
+        session: SessionLog,
+        adl: ADL,
+        caregiver_alerts: int = 0,
+    ) -> "CaregiverReport":
+        """Aggregate a session into a report."""
+        by_level = Counter(reminder.level for reminder in session.reminders)
+        by_reason = Counter(reminder.reason for reminder in session.reminders)
+        per_step: Dict[int, Counter] = {}
+        for reminder in session.reminders:
+            counter = per_step.setdefault(reminder.tool_id, Counter())
+            counter["total"] += 1
+            if reminder.reason is TriggerReason.STALL:
+                counter["stall"] += 1
+            else:
+                counter["wrong"] += 1
+        struggles = [
+            StepStruggle(
+                step_name=adl.step(tool_id).name,
+                reminders=counter["total"],
+                stalls=counter["stall"],
+                wrong_tools=counter["wrong"],
+            )
+            for tool_id, counter in sorted(
+                per_step.items(), key=lambda item: -item[1]["total"]
+            )
+            if adl.has_step(tool_id)
+        ]
+        return cls(
+            adl_name=adl.name,
+            episodes_completed=session.completions,
+            reminders_total=len(session.reminders),
+            reminders_per_episode=session.reminders_per_episode(),
+            minimal_reminders=by_level.get(ReminderLevel.MINIMAL, 0),
+            specific_reminders=by_level.get(ReminderLevel.SPECIFIC, 0),
+            stall_reminders=by_reason.get(TriggerReason.STALL, 0),
+            wrong_tool_reminders=by_reason.get(TriggerReason.WRONG_TOOL, 0),
+            praises=session.praises,
+            caregiver_alerts=caregiver_alerts,
+            struggles=struggles,
+        )
+
+    @property
+    def independence_ratio(self) -> Optional[float]:
+        """Fraction of reminders kept at the MINIMAL level.
+
+        The design goal behind the 100-vs-50 reward gap: higher is
+        better (the resident acts on light nudges).  None when no
+        reminders were needed at all -- full independence.
+        """
+        if self.reminders_total == 0:
+            return None
+        return self.minimal_reminders / self.reminders_total
+
+    def to_text(self) -> str:
+        """Render the report for a care-home noticeboard."""
+        lines = [
+            f"Caregiver report — {self.adl_name}",
+            "",
+            f"  activities completed:    {self.episodes_completed}",
+            f"  reminders given:         {self.reminders_total} "
+            f"({self.reminders_per_episode:.1f} per activity)",
+            f"    minimal / specific:    {self.minimal_reminders} / "
+            f"{self.specific_reminders}",
+            f"    stalled / wrong tool:  {self.stall_reminders} / "
+            f"{self.wrong_tool_reminders}",
+            f"  praise given:            {self.praises}",
+            f"  caregiver alerts:        {self.caregiver_alerts}",
+        ]
+        ratio = self.independence_ratio
+        if ratio is None:
+            lines.append("  independence:            no reminders needed")
+        else:
+            lines.append(f"  independence:            {ratio:.0%} of reminders "
+                         "stayed minimal")
+        if self.struggles:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["Step needing help", "Reminders", "Stalls", "Wrong tool"],
+                    [
+                        (s.step_name, s.reminders, s.stalls, s.wrong_tools)
+                        for s in self.struggles
+                    ],
+                )
+            )
+        return "\n".join(lines)

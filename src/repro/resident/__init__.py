@@ -1,0 +1,25 @@
+"""Simulated care recipients: routines, errors, compliance, cohorts."""
+
+from repro.resident.compliance import ComplianceModel
+from repro.resident.dementia import DementiaProfile, ErrorKind, ScriptedError
+from repro.resident.model import EpisodeOutcome, Resident
+from repro.resident.population import ResidentProfile, generate_population
+from repro.resident.routines import (
+    noisy_episodes,
+    personalized_routine,
+    training_episodes,
+)
+
+__all__ = [
+    "ComplianceModel",
+    "DementiaProfile",
+    "EpisodeOutcome",
+    "ErrorKind",
+    "Resident",
+    "ResidentProfile",
+    "ScriptedError",
+    "generate_population",
+    "noisy_episodes",
+    "personalized_routine",
+    "training_episodes",
+]

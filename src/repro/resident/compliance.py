@@ -1,0 +1,67 @@
+"""Prompt-compliance modelling.
+
+Whether a reminder actually gets the user moving depends on its
+level: a specific prompt (name, long message, more blinks) is more
+salient than a minimal one.  The compliance model captures that with
+per-level response probabilities and a lognormal-ish response delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adl import ReminderLevel
+
+__all__ = ["ComplianceModel"]
+
+
+@dataclass(frozen=True)
+class ComplianceModel:
+    """Per-level response behaviour of one resident."""
+
+    #: Probability a MINIMAL reminder is acted on.
+    minimal_response: float = 0.85
+    #: Probability a SPECIFIC reminder is acted on.
+    specific_response: float = 0.97
+    #: Mean seconds between noticing a reminder and acting.
+    delay_mean: float = 4.0
+    #: Delay spread (truncated normal; never below delay_floor).
+    delay_sd: float = 1.5
+    delay_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        for p in (self.minimal_response, self.specific_response):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("response probabilities must be in [0, 1]")
+        if self.minimal_response > self.specific_response:
+            raise ValueError(
+                "specific prompts must be at least as effective as minimal"
+            )
+        if self.delay_mean <= 0 or self.delay_floor <= 0:
+            raise ValueError("delays must be positive")
+
+    def responds(self, level: ReminderLevel, rng: np.random.Generator) -> bool:
+        """Does the resident act on a reminder of this level?"""
+        probability = (
+            self.minimal_response
+            if level is ReminderLevel.MINIMAL
+            else self.specific_response
+        )
+        return bool(rng.random() < probability)
+
+    def response_delay(self, rng: np.random.Generator) -> float:
+        """Seconds before the resident starts the prompted step."""
+        return float(max(rng.normal(self.delay_mean, self.delay_sd), self.delay_floor))
+
+    @classmethod
+    def perfect(cls) -> "ComplianceModel":
+        """Always responds, minimal delay (deterministic scenarios)."""
+        return cls(
+            minimal_response=1.0,
+            specific_response=1.0,
+            delay_mean=2.0,
+            delay_sd=0.0,
+            delay_floor=0.5,
+        )

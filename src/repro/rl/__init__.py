@@ -1,0 +1,73 @@
+"""A from-scratch tabular reinforcement-learning toolbox.
+
+This package replaces the paper's dependency on RL Toolbox 2.0.  It
+provides the TD(λ) Q-learning algorithm the planning subsystem runs
+on, plus the companions needed for baselines, ablations and the
+paper's future-work extensions: SARSA(λ), Dyna-Q, value iteration,
+behaviour policies, schedules, eligibility traces and convergence
+detection.
+"""
+
+from repro.rl.convergence import ConvergenceDetector, convergence_iteration
+from repro.rl.double_q import DoubleQLearner
+from repro.rl.dyna import DynaQLearner
+from repro.rl.expected_sarsa import ExpectedSarsaLearner
+from repro.rl.experience import ReplayBuffer, Transition
+from repro.rl.mdp import TabularMDP, TransitionOutcome
+from repro.rl.policies import (
+    EpsilonGreedyPolicy,
+    GreedyPolicy,
+    Policy,
+    SoftmaxPolicy,
+)
+from repro.rl.qtable import QTable
+from repro.rl.rewards import CallableReward, RewardFunction, TabularReward
+from repro.rl.sarsa import SarsaLambdaLearner
+from repro.rl.schedules import (
+    ConstantSchedule,
+    ExponentialDecay,
+    HarmonicDecay,
+    LinearDecay,
+    Schedule,
+)
+from repro.rl.tdlambda import TDLambdaQLearner
+from repro.rl.traces import EligibilityTraces, TraceKind
+from repro.rl.value_iteration import (
+    ValueIterationResult,
+    extract_policy,
+    q_values,
+    value_iteration,
+)
+
+__all__ = [
+    "CallableReward",
+    "ConstantSchedule",
+    "ConvergenceDetector",
+    "DoubleQLearner",
+    "DynaQLearner",
+    "EligibilityTraces",
+    "EpsilonGreedyPolicy",
+    "ExpectedSarsaLearner",
+    "ExponentialDecay",
+    "GreedyPolicy",
+    "HarmonicDecay",
+    "LinearDecay",
+    "Policy",
+    "QTable",
+    "ReplayBuffer",
+    "RewardFunction",
+    "SarsaLambdaLearner",
+    "Schedule",
+    "SoftmaxPolicy",
+    "TabularMDP",
+    "TabularReward",
+    "TDLambdaQLearner",
+    "TraceKind",
+    "Transition",
+    "TransitionOutcome",
+    "ValueIterationResult",
+    "convergence_iteration",
+    "extract_policy",
+    "q_values",
+    "value_iteration",
+]

@@ -1,0 +1,136 @@
+"""Double Q-learning [van Hasselt 2010].
+
+Plain Q-learning's max-operator overestimates action values under
+stochastic rewards (maximization bias).  Double Q-learning keeps two
+tables and evaluates one's greedy choice with the other, removing the
+bias.  CoReDA's rewards are deterministic so the paper's setup does
+not need it -- but a *noisy sensing channel* makes observed rewards
+stochastic (a correct prompt can look unfollowed when the next
+detection is missed), which is exactly the regime where the bias
+appears.  Included for completeness of the RL substrate, with tests
+demonstrating the bias on the classic two-state counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rl.policies import EpsilonGreedyPolicy, Policy
+from repro.rl.qtable import QTable
+from repro.rl.schedules import ConstantSchedule, Schedule
+
+__all__ = ["DoubleQLearner"]
+
+State = Hashable
+Action = Hashable
+
+
+class DoubleQLearner:
+    """Tabular Double Q-learning over two cross-evaluating tables."""
+
+    def __init__(
+        self,
+        learning_rate=0.2,
+        discount: float = 0.9,
+        policy: Optional[Policy] = None,
+        initial_q: float = 0.0,
+    ) -> None:
+        if not 0.0 <= discount < 1.0:
+            raise ValueError("discount must be in [0, 1)")
+        if isinstance(learning_rate, Schedule):
+            self.learning_rate_schedule: Schedule = learning_rate
+        else:
+            self.learning_rate_schedule = ConstantSchedule(float(learning_rate))
+        self.discount = float(discount)
+        self.policy: Policy = policy if policy is not None else EpsilonGreedyPolicy(0.2)
+        self.q_a = QTable(initial_value=initial_q)
+        self.q_b = QTable(initial_value=initial_q)
+        # The behaviour-facing combined table (mean of both).
+        self.q = _MeanQView(self.q_a, self.q_b)
+        self.updates = 0
+        self.episodes = 0
+
+    def begin_episode(self) -> None:
+        """Episode boundary (interface symmetry with the other learners)."""
+        self.episodes += 1
+
+    def select_action(
+        self,
+        state: State,
+        actions: Sequence[Action],
+        rng: np.random.Generator,
+        step: int = 0,
+    ) -> Tuple[Action, bool]:
+        """Behaviour action from the combined value view."""
+        return self.policy.select(self.q, state, list(actions), rng, step=step)
+
+    def greedy_action(self, state: State, actions: Sequence[Action]) -> Action:
+        """Greedy action under the combined view."""
+        return self.q.best_action(state, list(actions))
+
+    def observe(
+        self,
+        state: State,
+        action: Action,
+        reward: float,
+        next_state: State,
+        next_actions: Sequence[Action],
+        done: bool,
+        rng: Optional[np.random.Generator] = None,
+        exploratory: bool = False,
+    ) -> float:
+        """One double-Q update (table choice by coin flip).
+
+        ``rng`` drives the coin flip (a deterministic alternation is
+        used when omitted); ``exploratory`` is accepted for interface
+        compatibility and ignored (no traces here).
+        """
+        flip_a = (
+            bool(rng.random() < 0.5) if rng is not None else self.updates % 2 == 0
+        )
+        update_table, eval_table = (
+            (self.q_a, self.q_b) if flip_a else (self.q_b, self.q_a)
+        )
+        if done or not next_actions:
+            target = reward
+        else:
+            best = update_table.best_action(next_state, list(next_actions))
+            target = reward + self.discount * eval_table.value(next_state, best)
+        delta = target - update_table.value(state, action)
+        alpha = self.learning_rate_schedule.value(self.updates)
+        update_table.add(state, action, alpha * delta)
+        self.updates += 1
+        return delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DoubleQLearner(updates={self.updates})"
+
+
+class _MeanQView:
+    """A read-only QTable facade averaging two tables."""
+
+    def __init__(self, q_a: QTable, q_b: QTable) -> None:
+        self._q_a = q_a
+        self._q_b = q_b
+
+    def value(self, state: State, action: Action) -> float:
+        return 0.5 * (self._q_a.value(state, action) + self._q_b.value(state, action))
+
+    def best_action(self, state: State, actions) -> Action:
+        best = None
+        best_value = float("-inf")
+        for action in sorted(actions, key=repr):
+            value = self.value(state, action)
+            if value > best_value:
+                best, best_value = action, value
+        if best is None:
+            raise ValueError(f"no actions available in state {state!r}")
+        return best
+
+    def max_value(self, state: State, actions) -> float:
+        values = [self.value(state, a) for a in actions]
+        if not values:
+            raise ValueError(f"no actions available in state {state!r}")
+        return max(values)

@@ -1,0 +1,106 @@
+"""Expected SARSA [van Seijen et al. 2009].
+
+On-policy like SARSA but bootstraps from the *expectation* of the
+next action under the behaviour policy rather than the sampled next
+action, cutting update variance.  With an ε-greedy policy:
+
+    target = r + γ [ (1-ε) max_a Q(s',a) + ε · mean_a Q(s',a) ]
+
+Completes the RL substrate's on-policy family; at ε → 0 it coincides
+with Q-learning, which the tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+import numpy as np
+
+from repro.rl.policies import EpsilonGreedyPolicy
+from repro.rl.qtable import QTable
+from repro.rl.schedules import ConstantSchedule, Schedule
+
+__all__ = ["ExpectedSarsaLearner"]
+
+State = Hashable
+Action = Hashable
+
+
+class ExpectedSarsaLearner:
+    """Tabular Expected SARSA with an ε-greedy behaviour policy."""
+
+    def __init__(
+        self,
+        learning_rate=0.2,
+        discount: float = 0.9,
+        epsilon: float = 0.2,
+        initial_q: float = 0.0,
+    ) -> None:
+        if not 0.0 <= discount < 1.0:
+            raise ValueError("discount must be in [0, 1)")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if isinstance(learning_rate, Schedule):
+            self.learning_rate_schedule: Schedule = learning_rate
+        else:
+            self.learning_rate_schedule = ConstantSchedule(float(learning_rate))
+        self.discount = float(discount)
+        self.epsilon = float(epsilon)
+        self.policy = EpsilonGreedyPolicy(epsilon)
+        self.q = QTable(initial_value=initial_q)
+        self.updates = 0
+        self.episodes = 0
+
+    def begin_episode(self) -> None:
+        """Episode boundary (interface symmetry)."""
+        self.episodes += 1
+
+    def select_action(
+        self,
+        state: State,
+        actions: Sequence[Action],
+        rng: np.random.Generator,
+        step: int = 0,
+    ) -> Tuple[Action, bool]:
+        """ε-greedy behaviour action."""
+        return self.policy.select(self.q, state, list(actions), rng, step=step)
+
+    def greedy_action(self, state: State, actions: Sequence[Action]) -> Action:
+        """Current greedy action."""
+        return self.q.best_action(state, list(actions))
+
+    def expected_value(self, state: State, actions: Sequence[Action]) -> float:
+        """E_π[Q(state, ·)] under the ε-greedy policy."""
+        actions = list(actions)
+        if not actions:
+            raise ValueError(f"no actions available in state {state!r}")
+        values = [self.q.value(state, a) for a in actions]
+        greedy = max(values)
+        uniform = sum(values) / len(values)
+        return (1.0 - self.epsilon) * greedy + self.epsilon * uniform
+
+    def observe(
+        self,
+        state: State,
+        action: Action,
+        reward: float,
+        next_state: State,
+        next_actions: Sequence[Action],
+        done: bool,
+        exploratory: bool = False,
+    ) -> float:
+        """One Expected SARSA update; returns the TD error."""
+        if done or not next_actions:
+            target = reward
+        else:
+            target = reward + self.discount * self.expected_value(
+                next_state, next_actions
+            )
+        delta = target - self.q.value(state, action)
+        alpha = self.learning_rate_schedule.value(self.updates)
+        self.q.add(state, action, alpha * delta)
+        self.updates += 1
+        return delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExpectedSarsaLearner(epsilon={self.epsilon}, updates={self.updates})"

@@ -1,0 +1,76 @@
+"""Transitions and replay storage.
+
+The trainer logs every transition it learns from; Dyna-Q replays them
+through its model, and the experiment harness inspects them when
+debugging a learning curve.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Transition", "ReplayBuffer"]
+
+State = Hashable
+Action = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) experience tuple.
+
+    ``next_actions`` carries the action set of ``next_state`` so that
+    off-policy replay can recompute the max over it without a world
+    model.
+    """
+
+    state: State
+    action: Action
+    reward: float
+    next_state: State
+    done: bool
+    next_actions: Tuple[Action, ...] = ()
+
+
+class ReplayBuffer:
+    """A bounded FIFO of transitions with uniform sampling."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buffer: Deque[Transition] = deque(maxlen=capacity)
+
+    def add(self, transition: Transition) -> None:
+        """Append one transition (oldest evicted when full)."""
+        self._buffer.append(transition)
+
+    def sample(
+        self, rng: np.random.Generator, k: int
+    ) -> List[Transition]:
+        """Draw ``k`` transitions uniformly with replacement.
+
+        Sampling from an empty buffer raises: replaying nothing is a
+        logic error in the caller's training loop.
+        """
+        if not self._buffer:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = rng.integers(len(self._buffer), size=k)
+        return [self._buffer[int(i)] for i in indices]
+
+    def last(self, k: Optional[int] = None) -> List[Transition]:
+        """The most recent ``k`` transitions (all if ``k`` is None)."""
+        items = list(self._buffer)
+        if k is None:
+            return items
+        return items[-k:]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplayBuffer({len(self._buffer)}/{self.capacity})"

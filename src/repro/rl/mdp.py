@@ -1,0 +1,101 @@
+"""Explicit tabular MDPs.
+
+Used by the value-iteration baseline (a Boger-style *pre-planned* MDP
+guidance system, built from a known routine model) and by tests that
+need a ground-truth optimal policy to compare the learners against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+__all__ = ["TransitionOutcome", "TabularMDP"]
+
+State = Hashable
+Action = Hashable
+
+
+@dataclass(frozen=True)
+class TransitionOutcome:
+    """One stochastic outcome of taking an action."""
+
+    probability: float
+    next_state: State
+    reward: float
+
+
+class TabularMDP:
+    """A finite MDP with explicit transition and reward tables."""
+
+    def __init__(self) -> None:
+        self._transitions: Dict[Tuple[State, Action], List[TransitionOutcome]] = {}
+        self._actions: Dict[State, List[Action]] = {}
+        self._terminal: Set[State] = set()
+
+    def add_transition(
+        self,
+        state: State,
+        action: Action,
+        next_state: State,
+        probability: float = 1.0,
+        reward: float = 0.0,
+    ) -> None:
+        """Register one outcome of (state, action)."""
+        if probability <= 0.0 or probability > 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        key = (state, action)
+        self._transitions.setdefault(key, []).append(
+            TransitionOutcome(probability, next_state, reward)
+        )
+        actions = self._actions.setdefault(state, [])
+        if action not in actions:
+            actions.append(action)
+        # Ensure the successor exists in the state map even if it has
+        # no outgoing transitions yet (it may be terminal).
+        self._actions.setdefault(next_state, [])
+
+    def mark_terminal(self, state: State) -> None:
+        """Declare ``state`` absorbing (value 0, no actions needed)."""
+        self._terminal.add(state)
+        self._actions.setdefault(state, [])
+
+    def is_terminal(self, state: State) -> bool:
+        """True if ``state`` was marked terminal."""
+        return state in self._terminal
+
+    def states(self) -> List[State]:
+        """All known states, in deterministic order."""
+        return sorted(self._actions.keys(), key=repr)
+
+    def actions(self, state: State) -> List[Action]:
+        """Actions available in ``state`` (empty for terminals)."""
+        if state in self._terminal:
+            return []
+        return list(self._actions.get(state, []))
+
+    def outcomes(self, state: State, action: Action) -> List[TransitionOutcome]:
+        """The outcome distribution of (state, action)."""
+        try:
+            return list(self._transitions[(state, action)])
+        except KeyError:
+            raise KeyError(f"no transition defined for ({state!r}, {action!r})")
+
+    def validate(self) -> None:
+        """Check every outcome distribution sums to 1 (±1e-9).
+
+        Raises ``ValueError`` on the first malformed distribution.
+        """
+        for (state, action), outcomes in self._transitions.items():
+            total = sum(o.probability for o in outcomes)
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(
+                    f"outcomes of ({state!r}, {action!r}) sum to {total}, not 1"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TabularMDP(states={len(self._actions)}, "
+            f"transitions={len(self._transitions)}, "
+            f"terminals={len(self._terminal)})"
+        )

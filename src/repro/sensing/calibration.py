@@ -1,0 +1,65 @@
+"""Threshold calibration for the usage detector.
+
+The paper speaks of "a pre-defined threshold" per sensor.  Deployments
+need a way to *choose* it: this module fits the threshold from labelled
+recordings (idle-only and active-only traces), placing it where idle
+false-trigger risk and active miss risk balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CalibrationResult", "calibrate_threshold", "false_positive_rate"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a threshold calibration."""
+
+    threshold: float
+    idle_quantile_value: float
+    active_quantile_value: float
+    separable: bool
+
+
+def calibrate_threshold(
+    idle_samples: Sequence[float],
+    active_samples: Sequence[float],
+    idle_quantile: float = 0.999,
+    active_quantile: float = 0.25,
+) -> CalibrationResult:
+    """Choose a detection threshold between idle noise and activity.
+
+    The threshold is the midpoint between a high quantile of the idle
+    distribution and a low quantile of the active distribution.  When
+    the two overlap (``separable=False``) the midpoint is still
+    returned -- the caller decides whether that is acceptable for the
+    tool in question.
+    """
+    if len(idle_samples) == 0 or len(active_samples) == 0:
+        raise ValueError("need non-empty idle and active sample sets")
+    idle_q = float(np.quantile(np.asarray(idle_samples, dtype=float), idle_quantile))
+    active_q = float(
+        np.quantile(np.asarray(active_samples, dtype=float), active_quantile)
+    )
+    threshold = (idle_q + active_q) / 2.0
+    return CalibrationResult(
+        threshold=threshold,
+        idle_quantile_value=idle_q,
+        active_quantile_value=active_q,
+        separable=active_q > idle_q,
+    )
+
+
+def false_positive_rate(
+    idle_samples: Sequence[float], threshold: float
+) -> float:
+    """Fraction of idle samples that would exceed ``threshold``."""
+    samples = np.asarray(idle_samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("need at least one idle sample")
+    return float(np.mean(samples > threshold))

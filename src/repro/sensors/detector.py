@@ -1,0 +1,89 @@
+"""The k-of-n threshold usage detector (paper section 2.1).
+
+    "The sampling rate of each sensor is 10 times in one second.  If
+    three of these 10 samples surpass a pre-defined threshold, the
+    tool will be considered is using [...].  We use this mechanism to
+    protect detection against accidental operation."
+
+The detector keeps a sliding window of the last ``n`` boolean
+exceedances; when at least ``k`` are set it declares usage.  A
+refractory period then suppresses re-detections so one physical
+handling produces one usage report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+__all__ = ["KofNDetector"]
+
+
+class KofNDetector:
+    """Sliding-window k-of-n threshold detector.
+
+    Feed samples with :meth:`observe`; it returns ``True`` exactly
+    when a new usage event should be reported.  The window is cleared
+    on detection, then a refractory period (in samples) keeps the
+    detector quiet while the same handling continues.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        k: int = 3,
+        n: int = 10,
+        refractory_samples: int = 20,
+    ) -> None:
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        if refractory_samples < 0:
+            raise ValueError("refractory_samples must be >= 0")
+        self.threshold = float(threshold)
+        self.k = k
+        self.n = n
+        self.refractory_samples = refractory_samples
+        self._window: Deque[bool] = deque(maxlen=n)
+        self._refractory_left = 0
+        self.detections = 0
+        self.samples_seen = 0
+
+    def observe(self, sample: float) -> bool:
+        """Process one sample; return ``True`` on a new detection."""
+        self.samples_seen += 1
+        if self._refractory_left > 0:
+            self._refractory_left -= 1
+            return False
+        self._window.append(sample > self.threshold)
+        if sum(self._window) >= self.k:
+            self._window.clear()
+            self._refractory_left = self.refractory_samples
+            self.detections += 1
+            return True
+        return False
+
+    def observe_trace(self, samples) -> int:
+        """Feed a whole trace; return the number of detections."""
+        hits = 0
+        for sample in samples:
+            if self.observe(float(sample)):
+                hits += 1
+        return hits
+
+    def reset(self) -> None:
+        """Clear window, refractory state and counters."""
+        self._window.clear()
+        self._refractory_left = 0
+        self.detections = 0
+        self.samples_seen = 0
+
+    @property
+    def exceedances_in_window(self) -> int:
+        """Current number of above-threshold samples in the window."""
+        return sum(self._window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KofNDetector(k={self.k}, n={self.n}, "
+            f"threshold={self.threshold}, detections={self.detections})"
+        )

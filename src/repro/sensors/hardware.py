@@ -1,0 +1,73 @@
+"""The PAVENET hardware specification (paper Table 1).
+
+PAVENET [Saruwatari & Kashima 2005] is the wireless sensor node the
+paper attaches to every tool.  This module records its specification
+verbatim so the reproduction can (a) regenerate Table 1 and (b) keep
+the simulated firmware honest about resource limits: the EEPROM log
+and the RAM budget below are enforced by the node model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.adl import SensorType
+
+__all__ = ["HardwareSpec", "PAVENET_SPEC", "LED_COLORS"]
+
+#: The four LEDs of the node, by conventional colour.  The paper uses
+#: green ("this tool should be used") and red ("this tool is
+#: incorrectly used"); the remaining two are available to firmware.
+LED_COLORS: Tuple[str, ...] = ("green", "red", "yellow", "orange")
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A sensor-node hardware description."""
+
+    cpu: str
+    ram_bytes: int
+    rom_bytes: int
+    wireless: str
+    io: Tuple[str, ...]
+    peripherals: Tuple[str, ...]
+    eeprom_bytes: int
+    led_count: int
+    sensors: Tuple[SensorType, ...]
+
+    def table_rows(self) -> List[Tuple[str, str]]:
+        """Rows of the paper's Table 1, as (field, value) pairs."""
+        return [
+            ("CPU", self.cpu),
+            ("RAM", f"{self.ram_bytes // 1024} KB"),
+            ("ROM", f"{self.rom_bytes // 1024} KB"),
+            ("Wireless", self.wireless),
+            ("I/O", ", ".join(self.io)),
+            (
+                "Peripherals",
+                ", ".join(self.peripherals)
+                + f", External EEPROM({self.eeprom_bytes // 1024} KB)",
+            ),
+            ("Sensors", ", ".join(s.value for s in self.sensors)),
+        ]
+
+
+#: The PAVENET module exactly as listed in the paper's Table 1.
+PAVENET_SPEC = HardwareSpec(
+    cpu="Microchip PIC18LF4620",
+    ram_bytes=4 * 1024,
+    rom_bytes=64 * 1024,
+    wireless="ChipCon CC1000",
+    io=("UART", "GPIO", "I2C"),
+    peripherals=(f"Four LEDs", "Real Time Clock"),
+    eeprom_bytes=16 * 1024,
+    led_count=4,
+    sensors=(
+        SensorType.ACCELEROMETER,
+        SensorType.PRESSURE,
+        SensorType.BRIGHTNESS,
+        SensorType.TEMPERATURE,
+        SensorType.MOTION,
+    ),
+)

@@ -1,0 +1,150 @@
+"""Structured trace recording for simulated runs.
+
+The evaluation harness reconstructs timelines (e.g. the paper's
+Figure 1 scenario: wrong tool at 13 s, praise at 23 s, stall prompt at
+71 s) from traces recorded here.  Entries are cheap tuples of
+``(time, category, payload)`` with helper queries, kept deliberately
+simple so any subsystem can emit them without coupling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = ["TraceEntry", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One trace record.
+
+    ``category`` is a dotted string such as ``"reminder.prompt"`` or
+    ``"sensing.tool_usage"``; ``payload`` is a dict of event fields.
+    """
+
+    time: float
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, prefix: str) -> bool:
+        """True if the category equals ``prefix`` or is nested under it."""
+        return self.category == prefix or self.category.startswith(prefix + ".")
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEntry` records in time order.
+
+    The recorder trusts callers to emit with non-decreasing timestamps
+    (the kernel guarantees this inside one simulation); an out-of-order
+    emit raises so bugs surface immediately instead of corrupting
+    timeline reconstruction.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._entries: List[TraceEntry] = []
+        self._listeners: List[Callable[[TraceEntry], None]] = []
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        """Record one entry (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if self._entries and time < self._entries[-1].time:
+            raise ValueError(
+                f"trace emitted out of order: t={time} after "
+                f"t={self._entries[-1].time} ({category})"
+            )
+        entry = TraceEntry(time=float(time), category=category, payload=payload)
+        self._entries.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+
+    def on_emit(self, listener: Callable[[TraceEntry], None]) -> None:
+        """Register a live listener called for every new entry."""
+        self._listeners.append(listener)
+
+    def entries(self, prefix: Optional[str] = None) -> List[TraceEntry]:
+        """All entries, optionally filtered by category prefix."""
+        if prefix is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.matches(prefix)]
+
+    def between(
+        self, start: float, end: float, prefix: Optional[str] = None
+    ) -> List[TraceEntry]:
+        """Entries with ``start <= time <= end`` (optionally filtered)."""
+        return [
+            e
+            for e in self.entries(prefix)
+            if start <= e.time <= end
+        ]
+
+    def first(self, prefix: str) -> Optional[TraceEntry]:
+        """Earliest entry under ``prefix``, or ``None``."""
+        for entry in self._entries:
+            if entry.matches(prefix):
+                return entry
+        return None
+
+    def last(self, prefix: str) -> Optional[TraceEntry]:
+        """Latest entry under ``prefix``, or ``None``."""
+        for entry in reversed(self._entries):
+            if entry.matches(prefix):
+                return entry
+        return None
+
+    def count(self, prefix: str) -> int:
+        """Number of entries under ``prefix``."""
+        return sum(1 for e in self._entries if e.matches(prefix))
+
+    def clear(self) -> None:
+        """Drop all recorded entries (listeners stay registered)."""
+        self._entries.clear()
+
+    def save_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the trace as JSON lines; returns entries written.
+
+        One ``{"time": ..., "category": ..., **payload-as-"payload"}``
+        object per line -- the format offline analysis tooling (and
+        plain ``jq``) expects.
+        """
+        with Path(path).open("w") as handle:
+            for entry in self._entries:
+                handle.write(
+                    json.dumps(
+                        {
+                            "time": entry.time,
+                            "category": entry.category,
+                            "payload": entry.payload,
+                        }
+                    )
+                )
+                handle.write("\n")
+        return len(self._entries)
+
+    @classmethod
+    def load_jsonl(cls, path: Union[str, Path]) -> "TraceRecorder":
+        """Restore a recorder from a :meth:`save_jsonl` file."""
+        recorder = cls()
+        with Path(path).open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                item = json.loads(line)
+                recorder.emit(
+                    item["time"], item["category"], **item.get("payload", {})
+                )
+        return recorder
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecorder(entries={len(self._entries)}, enabled={self.enabled})"

@@ -1,0 +1,50 @@
+"""Shared fixtures for the CoReDA test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adls.library import default_registry
+from repro.core.config import CoReDAConfig, PlanningConfig
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def tea_definition(registry):
+    return registry.get("tea-making")
+
+
+@pytest.fixture(scope="session")
+def tooth_definition(registry):
+    return registry.get("tooth-brushing")
+
+
+@pytest.fixture
+def tea_adl(tea_definition):
+    return tea_definition.adl
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def planning_config() -> PlanningConfig:
+    return PlanningConfig()
+
+
+@pytest.fixture
+def config() -> CoReDAConfig:
+    return CoReDAConfig(seed=0)

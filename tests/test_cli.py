@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "tea-making"])
+        assert args.episodes == 120
+        assert args.seed == 0
+        assert args.routine is None
+
+
+class TestListAdls:
+    def test_lists_all_five(self, capsys):
+        assert main(["list-adls"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tea-making", "tooth-brushing", "hand-washing",
+                     "dressing", "coffee-making"):
+            assert name in out
+
+
+class TestTrain:
+    def test_train_prints_convergence(self, capsys):
+        assert main(["train", "tea-making"]) == 0
+        out = capsys.readouterr().out
+        assert "95% criterion: iteration" in out
+        assert "final greedy accuracy: 100%" in out
+
+    def test_train_custom_routine(self, capsys):
+        assert main(["train", "tea-making", "--routine", "1,3,2,4"]) == 0
+        assert "[1, 3, 2, 4]" in capsys.readouterr().out
+
+    def test_train_saves_policy(self, tmp_path, capsys):
+        path = tmp_path / "policy.json"
+        assert main(["train", "tea-making", "--save", str(path)]) == 0
+        assert path.exists()
+        from repro.adls.tea_making import make_tea_making
+        from repro.planning.store import load_predictor
+
+        predictor = load_predictor(path, make_tea_making())
+        assert predictor.predict_next_tool(0, 1) == 2
+
+    def test_train_plot(self, capsys):
+        assert main(["train", "tea-making", "--plot"]) == 0
+        assert "*" in capsys.readouterr().out
+
+    def test_unknown_adl_raises(self):
+        from repro.core.errors import UnknownADLError
+
+        with pytest.raises(UnknownADLError):
+            main(["train", "cooking"])
+
+
+class TestSimulate:
+    def test_simulate_prints_report(self, capsys):
+        assert main(
+            ["simulate", "tea-making", "--episodes", "2", "--severity", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ran 2 episodes" in out
+        assert "Caregiver report — tea-making" in out
+
+    def test_simulate_with_adaptation(self, capsys):
+        assert main(
+            ["simulate", "tea-making", "--episodes", "1", "--adapt"]
+        ) == 0
+
+
+class TestScenario:
+    def test_scenario_passes(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "structure check: PASS" in out
+
+
+class TestConfigFile:
+    def test_train_with_config_file(self, tmp_path, capsys):
+        from repro.core.config import CoReDAConfig
+        from repro.core.config_io import save_config
+
+        path = tmp_path / "coreda.json"
+        save_config(CoReDAConfig(), path)
+        assert main(["train", "tea-making", "--config", str(path)]) == 0
+        assert "final greedy accuracy" in capsys.readouterr().out
+
+    def test_seed_flag_overrides_config_seed(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "coreda.json"
+        path.write_text(json.dumps({"seed": 5}))
+        assert main(
+            ["train", "tea-making", "--config", str(path), "--seed", "9"]
+        ) == 0
+
+    def test_simulate_timeline_flag(self, capsys):
+        assert main(
+            ["simulate", "tea-making", "--episodes", "1", "--timeline",
+             "--severity", "0.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Event timeline" in out
+        assert "Put tea-leaf into kettle" in out

@@ -1,0 +1,81 @@
+"""Unit tests for configuration persistence."""
+
+import json
+
+import pytest
+
+from repro.core.config import CoReDAConfig, RemindingConfig
+from repro.core.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestRoundTrip:
+    def test_default_config_roundtrips(self, tmp_path):
+        config = CoReDAConfig(seed=42)
+        path = tmp_path / "coreda.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_customized_config_roundtrips(self, tmp_path):
+        from dataclasses import replace
+
+        config = replace(
+            CoReDAConfig(seed=7),
+            reminding=RemindingConfig(stall_timeout=45.0, escalate_after=1),
+        )
+        path = tmp_path / "coreda.json"
+        save_config(config, path)
+        restored = load_config(path)
+        assert restored.reminding.stall_timeout == 45.0
+        assert restored.reminding.escalate_after == 1
+        assert restored == config
+
+    def test_file_is_editable_json(self, tmp_path):
+        path = tmp_path / "coreda.json"
+        save_config(CoReDAConfig(), path)
+        document = json.loads(path.read_text())
+        assert document["planning"]["terminal_reward"] == 1000.0
+        assert document["sensing"]["sampling_hz"] == 10.0
+
+
+class TestPartialDocuments:
+    def test_missing_sections_use_defaults(self):
+        config = config_from_dict({"seed": 9})
+        assert config.seed == 9
+        assert config.planning == CoReDAConfig().planning
+
+    def test_partial_section(self):
+        config = config_from_dict(
+            {"reminding": {"stall_timeout": 50.0}}
+        )
+        assert config.reminding.stall_timeout == 50.0
+        assert (
+            config.reminding.minimal_blinks
+            == RemindingConfig().minimal_blinks
+        )
+
+    def test_empty_document_is_default(self):
+        assert config_from_dict({}) == CoReDAConfig()
+
+
+class TestValidation:
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"reminders": {}})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"planning": {"learning_rte": 0.2}})
+
+    def test_non_object_section_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"planning": 7})
+
+    def test_invalid_values_caught_by_dataclass_checks(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"planning": {"learning_rate": 5.0}})

@@ -1,0 +1,56 @@
+"""Unit tests for the session log."""
+
+from repro.core.adl import ReminderLevel
+from repro.core.bus import EventBus
+from repro.core.events import (
+    EpisodeCompletedEvent,
+    PraiseEvent,
+    ReminderEvent,
+    TriggerReason,
+)
+from repro.core.session import SessionLog
+
+
+def reminder(time=1.0):
+    return ReminderEvent(
+        time=time,
+        tool_id=2,
+        level=ReminderLevel.MINIMAL,
+        reason=TriggerReason.STALL,
+        message="Please use electronic-pot.",
+        picture="pot.png",
+    )
+
+
+def completed(time=10.0, reminders=2):
+    return EpisodeCompletedEvent(
+        time=time, adl_name="tea-making", steps_taken=4,
+        reminders_issued=reminders,
+    )
+
+
+class TestSessionLog:
+    def test_attach_returns_self(self):
+        bus = EventBus()
+        log = SessionLog().attach(bus)
+        assert isinstance(log, SessionLog)
+
+    def test_collects_events(self):
+        bus = EventBus()
+        log = SessionLog().attach(bus)
+        bus.publish(reminder())
+        bus.publish(PraiseEvent(time=2.0, step_id=2, message="Excellent!"))
+        bus.publish(completed())
+        assert len(log.reminders) == 1
+        assert log.praises == 1
+        assert log.completions == 1
+
+    def test_reminders_per_episode(self):
+        bus = EventBus()
+        log = SessionLog().attach(bus)
+        bus.publish(completed(reminders=2))
+        bus.publish(completed(time=20.0, reminders=4))
+        assert log.reminders_per_episode() == 3.0
+
+    def test_reminders_per_episode_empty(self):
+        assert SessionLog().reminders_per_episode() == 0.0

@@ -1,0 +1,169 @@
+"""Failure-injection tests: the system must degrade, not derail.
+
+Dead nodes, radio blackouts and abandoned episodes are everyday
+events in a real deployment; these tests pin how each one manifests
+and that the system recovers for the next episode.
+"""
+
+import pytest
+
+from repro.adls.tea_making import KETTLE, POT, TEABOX, TEACUP
+from repro.core.config import CoReDAConfig
+from repro.core.errors import CoReDAError
+from repro.core.system import CoReDA
+from repro.resident.compliance import ComplianceModel
+
+RELIABLE = {POT.tool_id: 6.0, TEACUP.tool_id: 5.0}
+
+
+@pytest.fixture
+def system(tea_definition):
+    system = CoReDA.build(tea_definition, CoReDAConfig(seed=33))
+    system.train_offline(episodes=120)
+    system.start()
+    return system
+
+
+class TestDeadNode:
+    def test_dead_node_presents_as_wrong_tool_skip(self, system):
+        """A dead pot node makes the kettle step look like a skip.
+
+        The user *did* pour the water, but the system cannot see it:
+        the next detection (kettle) mismatches the expected pot, so a
+        wrong-tool reminder fires.  The episode still completes -- the
+        user is following their routine regardless.
+        """
+        system.network.node(POT.tool_id).stop()
+        resident = system.create_resident(
+            compliance=ComplianceModel.perfect(),
+            handling_overrides=RELIABLE,
+            name="dead-node",
+        )
+        before = len(system.reminding.reminders)
+        outcome = system.run_episode(resident, horizon=3600.0)
+        assert outcome.completed
+        new = system.reminding.reminders[before:]
+        # Guidance noise occurred (the system believed the user erred)...
+        assert len(new) >= 1
+        # ...but the kettle and cup steps were still sensed.
+        assert any(
+            record.tool_id == KETTLE.tool_id
+            for record in system.sensing.history.records()
+        )
+
+    def test_restarted_node_recovers(self, system):
+        node = system.network.node(POT.tool_id)
+        node.stop()
+        node.start()
+        resident = system.create_resident(
+            handling_overrides=RELIABLE, name="recovered"
+        )
+        before = len(system.sensing.history.of_tool(POT.tool_id))
+        outcome = system.run_episode(resident, horizon=3600.0)
+        assert outcome.completed
+        assert len(system.sensing.history.of_tool(POT.tool_id)) > before
+
+
+class TestRadioBlackout:
+    def test_total_loss_silences_sensing(self, tea_definition):
+        from dataclasses import replace
+
+        from repro.core.config import RadioConfig
+
+        config = replace(
+            CoReDAConfig(seed=5),
+            radio=RadioConfig(loss_probability=0.99, max_retries=1),
+        )
+        system = CoReDA.build(tea_definition, config)
+        system.train_offline(episodes=120)
+        system.start()
+        system.network.source(TEABOX.tool_id).begin_use(
+            system.sim.now, duration=6.0
+        )
+        system.sim.run_until(system.sim.now + 10.0)
+        # Detections happened on the node but (almost) nothing crossed
+        # the dead air.
+        node = system.network.node(TEABOX.tool_id)
+        assert node.usage_reports >= 1
+        assert len(system.sensing.history) <= node.usage_reports
+        assert system.network.medium.stats.dropped >= 1
+
+    def test_eeprom_retains_what_radio_lost(self, tea_definition):
+        from dataclasses import replace
+
+        from repro.core.config import RadioConfig
+
+        config = replace(
+            CoReDAConfig(seed=5),
+            radio=RadioConfig(loss_probability=0.99, max_retries=0),
+        )
+        system = CoReDA.build(tea_definition, config)
+        system.start()
+        system.network.source(TEABOX.tool_id).begin_use(
+            system.sim.now, duration=6.0
+        )
+        system.sim.run_until(system.sim.now + 10.0)
+        node = system.network.node(TEABOX.tool_id)
+        # Every detection was persisted locally even though the
+        # uplink was dead -- the recovery path a real deployment needs.
+        assert len(node.eeprom) == node.usage_reports >= 1
+
+
+class TestAbandonedEpisode:
+    def test_stuck_episode_raises_horizon_error(self, system):
+        # A resident who dwells on the first step longer than the
+        # horizon never finishes; run_episode must fail loudly rather
+        # than return a bogus outcome.
+        resident = system.create_resident(
+            dwell_overrides={TEABOX.tool_id: 10_000.0},
+            handling_overrides=RELIABLE,
+            name="glacial",
+        )
+        with pytest.raises(CoReDAError):
+            system.run_episode(resident, horizon=60.0)
+        system.planning.reset_episode()
+        system.sensing.reset_episode()
+
+    def test_interrupted_resident_can_restart(self, system):
+        resident = system.create_resident(
+            handling_overrides=RELIABLE, name="abandoner"
+        )
+        process = resident.start_episode()
+        system.sim.run_until(system.sim.now + 2.0)
+        process.interrupt()
+        system.planning.reset_episode()
+        system.sensing.reset_episode()
+        # start_episode builds a fresh behaviour generator: the same
+        # resident simply begins the activity again.
+        outcome = system.run_episode(resident, horizon=3600.0)
+        assert outcome.completed
+
+    def test_next_episode_clean_after_reset(self, system):
+        resident = system.create_resident(
+            handling_overrides=RELIABLE, name="abandoner2"
+        )
+        process = resident.start_episode()
+        system.sim.run_until(system.sim.now + 2.0)
+        process.interrupt()
+        system.planning.reset_episode()
+        system.sensing.reset_episode()
+        fresh = system.create_resident(
+            handling_overrides=RELIABLE, name="fresh"
+        )
+        outcome = system.run_episode(fresh, horizon=3600.0)
+        assert outcome.completed
+
+
+class TestForeignTraffic:
+    def test_unknown_node_ignored_end_to_end(self, system):
+        """A frame from a uid outside the deployment is dropped."""
+        from repro.sensors.radio import BASE_STATION_UID, Frame
+
+        before = len(system.sensing.history)
+        system.network.medium.transmit(
+            Frame(src_uid=999, dst_uid=BASE_STATION_UID, kind="usage",
+                  sequence=1)
+        )
+        system.sim.run_until(system.sim.now + 1.0)
+        assert len(system.sensing.history) == before
+        assert system.sensing.frames_ignored >= 1

@@ -1,0 +1,126 @@
+"""Fuzz tests: random event streams must never break the pipeline.
+
+Hypothesis drives the subsystems with arbitrary (valid-typed but
+wild) input sequences and checks structural invariants: no crashes,
+prompts only ever name real tools, praise only after a prompt, the
+extractor's step stream never repeats a StepID back-to-back.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adls.tea_making import tea_making_definition
+from repro.core.adl import IDLE_STEP_ID, ReminderLevel
+from repro.core.bus import EventBus
+from repro.core.config import SensingConfig
+from repro.core.events import (
+    PraiseEvent,
+    PromptRequestEvent,
+    ReminderEvent,
+    StepEvent,
+)
+from repro.planning.action import PromptAction
+from repro.planning.subsystem import PlanningSubsystem
+from repro.sensing.subsystem import SensingSubsystem
+from repro.sim.kernel import Simulator
+
+TEA = tea_making_definition().adl
+TOOL_IDS = list(TEA.step_ids)
+
+# Tool streams: mostly valid tools, some idle markers, some garbage.
+tool_stream = st.lists(
+    st.one_of(
+        st.sampled_from(TOOL_IDS),
+        st.just(IDLE_STEP_ID),
+        st.integers(min_value=90, max_value=99),
+    ),
+    max_size=60,
+)
+
+
+class RoutinePredictor:
+    def predict(self, state):
+        next_step = TEA.canonical_routine().next_step_id(state.current)
+        if next_step is None:
+            next_step = TEA.step_ids[0]
+        return PromptAction(next_step, ReminderLevel.MINIMAL)
+
+
+def build_pipeline():
+    sim = Simulator()
+    bus = EventBus()
+    sensing = SensingSubsystem(
+        sim=sim, adl=TEA, bus=bus, config=SensingConfig()
+    )
+    planning = PlanningSubsystem(
+        sim=sim,
+        adl=TEA,
+        bus=bus,
+        predictor=RoutinePredictor(),
+        stall_timeout_for=lambda step_id: 10.0,
+    )
+    prompts, praises, steps = [], [], []
+    bus.subscribe(PromptRequestEvent, prompts.append)
+    bus.subscribe(PraiseEvent, praises.append)
+    bus.subscribe(StepEvent, steps.append)
+    return sim, sensing, planning, prompts, praises, steps
+
+
+@given(tool_stream, st.lists(st.floats(min_value=0.1, max_value=40.0),
+                             max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_pipeline_survives_arbitrary_usage_streams(tools, gaps):
+    sim, sensing, planning, prompts, praises, steps = build_pipeline()
+    for index, tool in enumerate(tools):
+        if tool == IDLE_STEP_ID:
+            # Nothing used: just let time pass.
+            pass
+        else:
+            sensing.inject_usage(tool)
+        gap = gaps[index] if index < len(gaps) else 1.0
+        sim.run_until(sim.now + gap)
+    # Invariant 1: every prompt names a real tool of the ADL.
+    assert all(TEA.has_step(p.tool_id) for p in prompts)
+    # Invariant 2: wrong-tool prompts always carry the offending tool.
+    for prompt in prompts:
+        if prompt.wrong_tool_id is not None:
+            assert TEA.has_step(prompt.wrong_tool_id)
+    # Invariant 3: the step stream never repeats a StepID.
+    ids = [event.step_id for event in steps]
+    assert all(a != b for a, b in zip(ids, ids[1:]))
+    # Invariant 4: praise requires at least one earlier prompt.
+    if praises:
+        assert prompts
+        assert min(p.time for p in praises) >= min(p.time for p in prompts)
+
+
+@given(tool_stream)
+@settings(max_examples=60, deadline=None)
+def test_sensing_history_matches_accepted_usages(tools):
+    sim, sensing, planning, *_ = build_pipeline()
+    accepted = 0
+    for tool in tools:
+        if tool != IDLE_STEP_ID:
+            sensing.inject_usage(tool)
+            if TEA.has_step(tool):
+                accepted += 1
+        sim.run_until(sim.now + 1.0)
+    assert len(sensing.history) == accepted
+    foreign = sum(
+        1 for tool in tools if tool != IDLE_STEP_ID and not TEA.has_step(tool)
+    )
+    assert sensing.frames_ignored == foreign
+
+
+@given(st.lists(st.sampled_from(TOOL_IDS), min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_episode_completion_count_matches_terminal_visits(tools):
+    sim, sensing, planning, prompts, praises, steps = build_pipeline()
+    for tool in tools:
+        sensing.inject_usage(tool)
+        sim.run_until(sim.now + 1.0)
+    # Completions can never exceed visits to the terminal step.
+    terminal_visits = sum(
+        1 for event in steps if event.step_id == TEA.terminal_step_id
+    )
+    assert planning.episodes_completed <= terminal_visits

@@ -1,0 +1,74 @@
+"""Unit tests for policy persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adls.tooth_brushing import make_tooth_brushing
+from repro.core.errors import CoReDAError
+from repro.planning.predictor import NextStepPredictor
+from repro.planning.state import episode_states
+from repro.planning.store import FORMAT_VERSION, load_predictor, save_predictor
+from repro.planning.trainer import RoutineTrainer
+
+
+@pytest.fixture
+def predictor(tea_adl):
+    trainer = RoutineTrainer(tea_adl, rng=np.random.default_rng(0))
+    routine = tea_adl.canonical_routine()
+    result = trainer.train([list(routine.step_ids)] * 120, routine=routine)
+    return NextStepPredictor.from_training(result)
+
+
+class TestRoundTrip:
+    def test_predictions_survive_roundtrip(self, tmp_path, tea_adl, predictor):
+        path = tmp_path / "policy.json"
+        save_predictor(predictor, path, tea_adl.name)
+        restored = load_predictor(path, tea_adl)
+        states = episode_states(tea_adl.step_ids)
+        for index in range(len(states) - 1):
+            assert restored.predict(states[index]) == predictor.predict(
+                states[index]
+            )
+        assert restored.converged == predictor.converged
+
+    def test_q_values_preserved(self, tmp_path, tea_adl, predictor):
+        path = tmp_path / "policy.json"
+        save_predictor(predictor, path, tea_adl.name)
+        restored = load_predictor(path, tea_adl)
+        assert restored.q.max_abs_difference(predictor.q) == pytest.approx(0.0)
+
+    def test_file_is_plain_json(self, tmp_path, tea_adl, predictor):
+        path = tmp_path / "policy.json"
+        save_predictor(predictor, path, tea_adl.name)
+        document = json.loads(path.read_text())
+        assert document["format"] == FORMAT_VERSION
+        assert document["adl"] == "tea-making"
+        assert document["entries"]
+
+
+class TestValidation:
+    def test_wrong_adl_rejected(self, tmp_path, tea_adl, predictor):
+        path = tmp_path / "policy.json"
+        save_predictor(predictor, path, tea_adl.name)
+        with pytest.raises(CoReDAError):
+            load_predictor(path, make_tooth_brushing())
+
+    def test_wrong_format_rejected(self, tmp_path, tea_adl, predictor):
+        path = tmp_path / "policy.json"
+        save_predictor(predictor, path, tea_adl.name)
+        document = json.loads(path.read_text())
+        document["format"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(CoReDAError):
+            load_predictor(path, tea_adl)
+
+    def test_unknown_tool_rejected(self, tmp_path, tea_adl, predictor):
+        path = tmp_path / "policy.json"
+        save_predictor(predictor, path, tea_adl.name)
+        document = json.loads(path.read_text())
+        document["entries"][0]["tool_id"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(CoReDAError):
+            load_predictor(path, tea_adl)

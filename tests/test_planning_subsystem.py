@@ -1,0 +1,169 @@
+"""Unit tests for the online planning subsystem."""
+
+import pytest
+
+from repro.core.adl import IDLE_STEP_ID, ReminderLevel
+from repro.core.bus import EventBus
+from repro.core.events import (
+    EpisodeCompletedEvent,
+    PraiseEvent,
+    PromptRequestEvent,
+    StepEvent,
+    TriggerReason,
+)
+from repro.planning.action import PromptAction
+from repro.planning.subsystem import PlanningSubsystem
+
+
+class RoutinePredictor:
+    """Deterministic predictor following the canonical routine."""
+
+    def __init__(self, routine):
+        self.routine = routine
+
+    def predict(self, state):
+        next_step = self.routine.next_step_id(state.current)
+        return PromptAction(next_step, ReminderLevel.MINIMAL)
+
+
+@pytest.fixture
+def harness(sim, tea_adl):
+    bus = EventBus()
+    planning = PlanningSubsystem(
+        sim=sim,
+        adl=tea_adl,
+        bus=bus,
+        predictor=RoutinePredictor(tea_adl.canonical_routine()),
+        stall_timeout_for=lambda step_id: 10.0,
+    )
+    prompts, praises, completions = [], [], []
+    bus.subscribe(PromptRequestEvent, prompts.append)
+    bus.subscribe(PraiseEvent, praises.append)
+    bus.subscribe(EpisodeCompletedEvent, completions.append)
+
+    def step(step_id, previous=None):
+        bus.publish(
+            StepEvent(time=sim.now, step_id=step_id, previous_step_id=previous or 0)
+        )
+
+    return sim, planning, prompts, praises, completions, step
+
+
+class TestHappyPath:
+    def test_correct_episode_no_prompts(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        for step_id in (1, 2, 3, 4):
+            step(step_id)
+            sim.run_until(sim.now + 3.0)
+        assert prompts == []
+        assert praises == []
+        assert len(completions) == 1
+        assert planning.episodes_completed == 1
+
+    def test_completion_event_contents(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        for step_id in (1, 2, 3, 4):
+            step(step_id)
+        completed = completions[0]
+        assert completed.adl_name == "tea-making"
+        assert completed.steps_taken == 4
+        assert completed.reminders_issued == 0
+
+    def test_state_resets_after_completion(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        for step_id in (1, 2, 3, 4):
+            step(step_id)
+        for step_id in (1, 2, 3, 4):
+            step(step_id)
+        assert len(completions) == 2
+
+
+class TestWrongTool:
+    def test_wrong_tool_prompts_expected(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        step(4)  # should have been 2
+        assert len(prompts) == 1
+        prompt = prompts[0]
+        assert prompt.reason is TriggerReason.WRONG_TOOL
+        assert prompt.tool_id == 2
+        assert prompt.wrong_tool_id == 4
+
+    def test_recovery_after_wrong_tool_earns_praise(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        step(4)
+        step(2)  # follows the prompt
+        assert len(praises) == 1
+        assert praises[0].step_id == 2
+
+    def test_expectation_anchored_during_error(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        step(4)
+        step(3)  # still wrong; expectation remains tool 2
+        assert [p.tool_id for p in prompts] == [2, 2]
+
+
+class TestStall:
+    def test_stall_timer_prompts(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        sim.run_until(11.0)
+        assert len(prompts) == 1
+        assert prompts[0].reason is TriggerReason.STALL
+        assert prompts[0].tool_id == 2
+
+    def test_stall_prompt_repeats_until_answered(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        sim.run_until(35.0)
+        assert len(prompts) == 3
+
+    def test_progress_disarms_stall_timer(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        sim.run_until(5.0)
+        step(2)
+        sim.run_until(9.0)  # only 4 s in step 2
+        assert prompts == []
+
+    def test_idle_event_triggers_stall_prompt(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        step(IDLE_STEP_ID)
+        assert len(prompts) == 1
+        assert prompts[0].reason is TriggerReason.STALL
+
+    def test_following_stall_prompt_earns_praise(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        sim.run_until(11.0)
+        step(2)
+        assert len(praises) == 1
+
+
+class TestFirstStep:
+    def test_no_prompt_before_first_step(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        sim.run_until(100.0)
+        assert prompts == []
+
+    def test_idle_before_episode_ignored(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(IDLE_STEP_ID)
+        assert prompts == []
+
+    def test_prediction_starts_at_first_step(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        assert planning.prompts_requested == 0
+
+
+class TestReset:
+    def test_reset_episode_clears_state(self, harness):
+        sim, planning, prompts, praises, completions, step = harness
+        step(1)
+        planning.reset_episode()
+        sim.run_until(100.0)
+        assert prompts == []

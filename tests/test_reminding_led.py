@@ -1,0 +1,59 @@
+"""Unit tests for the LED controller (goes through the radio)."""
+
+import pytest
+
+from repro.core.adl import ReminderLevel
+from repro.core.bus import EventBus
+from repro.core.config import RadioConfig, RemindingConfig, SensingConfig
+from repro.core.events import LEDCommandEvent
+from repro.reminding.led import LedController
+from repro.sensors.network import SensorNetwork
+from repro.sim.random import RandomStreams
+
+
+@pytest.fixture
+def setup(sim, tea_definition):
+    network = SensorNetwork(
+        sim=sim,
+        adl=tea_definition.adl,
+        sensing_config=SensingConfig(),
+        radio_config=RadioConfig(loss_probability=0.0),
+        streams=RandomStreams(0),
+    )
+    bus = EventBus()
+    commands = []
+    bus.subscribe(LEDCommandEvent, commands.append)
+    controller = LedController(
+        sim, network.base_station, RemindingConfig(), bus=bus
+    )
+    return sim, network, controller, commands
+
+
+class TestBlinkCounts:
+    def test_minimal_fewer_than_specific(self, setup):
+        _, _, controller, _ = setup
+        assert controller.blinks_for(ReminderLevel.MINIMAL) < controller.blinks_for(
+            ReminderLevel.SPECIFIC
+        )
+
+
+class TestCommands:
+    def test_target_green(self, setup):
+        sim, network, controller, commands = setup
+        controller.indicate_target(2, ReminderLevel.MINIMAL)
+        sim.run()
+        assert network.node(2).leds["green"].total_blinks == 3
+        assert commands[0].color == "green"
+
+    def test_wrong_use_red(self, setup):
+        sim, network, controller, commands = setup
+        controller.indicate_wrong_use(4, ReminderLevel.SPECIFIC)
+        sim.run()
+        assert network.node(4).leds["red"].total_blinks == 8
+        assert commands[0].color == "red"
+
+    def test_commands_counted(self, setup):
+        sim, network, controller, commands = setup
+        controller.indicate_target(1, ReminderLevel.MINIMAL)
+        controller.indicate_wrong_use(2, ReminderLevel.MINIMAL)
+        assert controller.commands_sent == 2

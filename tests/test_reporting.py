@@ -1,0 +1,123 @@
+"""Unit tests for caregiver reporting."""
+
+from repro.core.adl import ReminderLevel
+from repro.core.bus import EventBus
+from repro.core.events import (
+    EpisodeCompletedEvent,
+    PraiseEvent,
+    ReminderEvent,
+    TriggerReason,
+)
+from repro.core.session import SessionLog
+from repro.reporting.caregiver import CaregiverReport
+
+
+def reminder(tool_id=2, level=ReminderLevel.MINIMAL,
+             reason=TriggerReason.STALL, time=1.0):
+    return ReminderEvent(
+        time=time, tool_id=tool_id, level=level, reason=reason,
+        message="m", picture="p",
+    )
+
+
+def build_session(reminders, completions=2, praises=1):
+    bus = EventBus()
+    session = SessionLog().attach(bus)
+    for event in reminders:
+        bus.publish(event)
+    for index in range(completions):
+        bus.publish(
+            EpisodeCompletedEvent(
+                time=10.0 * (index + 1), adl_name="tea-making",
+                steps_taken=4, reminders_issued=len(reminders) // max(completions, 1),
+            )
+        )
+    for _ in range(praises):
+        bus.publish(PraiseEvent(time=5.0, step_id=2, message="Excellent!"))
+    return session
+
+
+class TestAggregation:
+    def test_counts(self, tea_adl):
+        session = build_session(
+            [
+                reminder(2, ReminderLevel.MINIMAL, TriggerReason.STALL),
+                reminder(2, ReminderLevel.SPECIFIC, TriggerReason.STALL),
+                reminder(3, ReminderLevel.MINIMAL, TriggerReason.WRONG_TOOL),
+            ]
+        )
+        report = CaregiverReport.from_session(session, tea_adl,
+                                              caregiver_alerts=1)
+        assert report.episodes_completed == 2
+        assert report.reminders_total == 3
+        assert report.minimal_reminders == 2
+        assert report.specific_reminders == 1
+        assert report.stall_reminders == 2
+        assert report.wrong_tool_reminders == 1
+        assert report.praises == 1
+        assert report.caregiver_alerts == 1
+
+    def test_struggles_sorted_by_reminder_count(self, tea_adl):
+        session = build_session(
+            [reminder(3), reminder(3), reminder(3), reminder(2)]
+        )
+        report = CaregiverReport.from_session(session, tea_adl)
+        assert report.struggles[0].step_name == "Pour tea into tea cup"
+        assert report.struggles[0].reminders == 3
+        assert report.struggles[1].reminders == 1
+
+    def test_independence_ratio(self, tea_adl):
+        session = build_session(
+            [
+                reminder(2, ReminderLevel.MINIMAL),
+                reminder(2, ReminderLevel.MINIMAL),
+                reminder(2, ReminderLevel.SPECIFIC),
+            ]
+        )
+        report = CaregiverReport.from_session(session, tea_adl)
+        assert report.independence_ratio == 2 / 3
+
+    def test_independence_none_without_reminders(self, tea_adl):
+        report = CaregiverReport.from_session(build_session([]), tea_adl)
+        assert report.independence_ratio is None
+
+
+class TestRendering:
+    def test_text_contains_key_lines(self, tea_adl):
+        session = build_session([reminder(2)])
+        report = CaregiverReport.from_session(session, tea_adl)
+        text = report.to_text()
+        assert "Caregiver report — tea-making" in text
+        assert "activities completed:    2" in text
+        assert "Pour hot water into kettle" in text
+
+    def test_text_without_struggles(self, tea_adl):
+        report = CaregiverReport.from_session(build_session([]), tea_adl)
+        text = report.to_text()
+        assert "no reminders needed" in text
+        assert "Step needing help" not in text
+
+
+class TestEndToEnd:
+    def test_report_from_live_system(self, tea_definition):
+        from repro.adls.tea_making import POT, TEACUP
+        from repro.core.config import CoReDAConfig
+        from repro.core.system import CoReDA
+        from repro.resident.compliance import ComplianceModel
+        from repro.resident.dementia import ErrorKind, ScriptedError
+
+        system = CoReDA.build(tea_definition, CoReDAConfig(seed=21))
+        system.train_offline()
+        resident = system.create_resident(
+            compliance=ComplianceModel.perfect(),
+            error_script={2: ScriptedError(ErrorKind.STALL)},
+            handling_overrides={POT.tool_id: 6.0, TEACUP.tool_id: 5.0},
+        )
+        system.run_episode(resident)
+        report = CaregiverReport.from_session(
+            system.session, tea_definition.adl,
+            caregiver_alerts=system.reminding.caregiver_alerts,
+        )
+        assert report.episodes_completed == 1
+        assert report.stall_reminders >= 1
+        assert "tea-making" in report.to_text()

@@ -1,0 +1,66 @@
+"""Unit tests for convergence detection."""
+
+import pytest
+
+from repro.rl.convergence import ConvergenceDetector, convergence_iteration
+
+
+class TestDetector:
+    def test_converges_after_patience_run(self):
+        detector = ConvergenceDetector(criterion=0.95, patience=3)
+        results = [detector.update(a) for a in [0.5, 0.96, 0.97, 0.99]]
+        assert results == [False, False, False, True]
+        assert detector.converged_at == 2  # first iteration of the streak
+
+    def test_dip_resets_streak(self):
+        detector = ConvergenceDetector(criterion=0.95, patience=3)
+        for accuracy in [0.96, 0.97, 0.4, 0.96, 0.96, 0.96]:
+            detector.update(accuracy)
+        assert detector.converged_at == 4
+
+    def test_never_converges(self):
+        detector = ConvergenceDetector(criterion=0.95, patience=2)
+        for _ in range(50):
+            detector.update(0.9)
+        assert not detector.converged
+        assert detector.converged_at is None
+
+    def test_stays_converged_after_later_dip(self):
+        detector = ConvergenceDetector(criterion=0.95, patience=2)
+        for accuracy in [0.96, 0.97, 0.1]:
+            detector.update(accuracy)
+        assert detector.converged
+        assert detector.converged_at == 1
+
+    def test_boundary_value_counts(self):
+        detector = ConvergenceDetector(criterion=0.95, patience=1)
+        assert detector.update(0.95)
+
+    def test_accuracy_bounds_enforced(self):
+        detector = ConvergenceDetector()
+        with pytest.raises(ValueError):
+            detector.update(1.2)
+
+    def test_history_recorded(self):
+        detector = ConvergenceDetector()
+        detector.update(0.3)
+        detector.update(0.6)
+        assert detector.history == [0.3, 0.6]
+
+    @pytest.mark.parametrize("kwargs", [{"criterion": 0.0}, {"criterion": 1.2},
+                                        {"patience": 0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ConvergenceDetector(**kwargs)
+
+
+class TestOfflineHelper:
+    def test_matches_streaming_detector(self):
+        series = [0.2, 0.5, 0.96, 0.97, 0.99, 0.99]
+        assert convergence_iteration(series, 0.95, patience=3) == 3
+
+    def test_none_when_never_met(self):
+        assert convergence_iteration([0.5] * 10, 0.95) is None
+
+    def test_one_based_indexing(self):
+        assert convergence_iteration([0.99], 0.95, patience=1) == 1

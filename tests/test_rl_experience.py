@@ -1,0 +1,70 @@
+"""Unit tests for transitions and the replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.rl.experience import ReplayBuffer, Transition
+
+
+def transition(i):
+    return Transition(
+        state=f"s{i}",
+        action="a",
+        reward=float(i),
+        next_state=f"s{i + 1}",
+        done=False,
+        next_actions=("a", "b"),
+    )
+
+
+class TestBuffer:
+    def test_add_and_len(self):
+        buffer = ReplayBuffer(capacity=10)
+        for i in range(3):
+            buffer.add(transition(i))
+        assert len(buffer) == 3
+
+    def test_capacity_evicts_oldest(self):
+        buffer = ReplayBuffer(capacity=3)
+        for i in range(5):
+            buffer.add(transition(i))
+        assert [t.reward for t in buffer.last()] == [2.0, 3.0, 4.0]
+
+    def test_last_k(self):
+        buffer = ReplayBuffer()
+        for i in range(5):
+            buffer.add(transition(i))
+        assert [t.reward for t in buffer.last(2)] == [3.0, 4.0]
+
+    def test_sample_with_replacement(self):
+        buffer = ReplayBuffer()
+        buffer.add(transition(0))
+        samples = buffer.sample(np.random.default_rng(0), 5)
+        assert len(samples) == 5
+        assert all(s.state == "s0" for s in samples)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer().sample(np.random.default_rng(0), 1)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+    def test_sample_draws_across_buffer(self):
+        buffer = ReplayBuffer()
+        for i in range(10):
+            buffer.add(transition(i))
+        samples = buffer.sample(np.random.default_rng(1), 100)
+        assert len({s.state for s in samples}) > 5
+
+
+class TestTransition:
+    def test_frozen(self):
+        t = transition(0)
+        with pytest.raises(AttributeError):
+            t.reward = 9.0
+
+    def test_next_actions_default_empty(self):
+        t = Transition("s", "a", 0.0, "t", True)
+        assert t.next_actions == ()

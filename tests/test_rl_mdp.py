@@ -1,0 +1,66 @@
+"""Unit tests for the explicit tabular MDP."""
+
+import pytest
+
+from repro.rl.mdp import TabularMDP
+
+
+def two_state_mdp():
+    mdp = TabularMDP()
+    mdp.add_transition("s1", "go", "s2", probability=1.0, reward=1.0)
+    mdp.add_transition("s2", "go", "goal", probability=1.0, reward=10.0)
+    mdp.mark_terminal("goal")
+    return mdp
+
+
+class TestConstruction:
+    def test_states_include_successors(self):
+        mdp = two_state_mdp()
+        assert set(mdp.states()) == {"s1", "s2", "goal"}
+
+    def test_actions_listed_once(self):
+        mdp = TabularMDP()
+        mdp.add_transition("s", "a", "t", probability=0.5, reward=0.0)
+        mdp.add_transition("s", "a", "u", probability=0.5, reward=1.0)
+        assert mdp.actions("s") == ["a"]
+
+    def test_terminal_has_no_actions(self):
+        mdp = two_state_mdp()
+        assert mdp.actions("goal") == []
+        assert mdp.is_terminal("goal")
+
+    def test_outcomes(self):
+        mdp = two_state_mdp()
+        outcomes = mdp.outcomes("s1", "go")
+        assert len(outcomes) == 1
+        assert outcomes[0].next_state == "s2"
+        assert outcomes[0].reward == 1.0
+
+    def test_unknown_transition_raises(self):
+        with pytest.raises(KeyError):
+            two_state_mdp().outcomes("s1", "missing")
+
+    def test_probability_bounds(self):
+        mdp = TabularMDP()
+        with pytest.raises(ValueError):
+            mdp.add_transition("s", "a", "t", probability=0.0)
+        with pytest.raises(ValueError):
+            mdp.add_transition("s", "a", "t", probability=1.5)
+
+
+class TestValidate:
+    def test_valid_distribution_passes(self):
+        mdp = TabularMDP()
+        mdp.add_transition("s", "a", "t", probability=0.4)
+        mdp.add_transition("s", "a", "u", probability=0.6)
+        mdp.validate()
+
+    def test_invalid_distribution_fails(self):
+        mdp = TabularMDP()
+        mdp.add_transition("s", "a", "t", probability=0.4)
+        with pytest.raises(ValueError):
+            mdp.validate()
+
+    def test_states_deterministic_order(self):
+        mdp = two_state_mdp()
+        assert mdp.states() == sorted(mdp.states(), key=repr)

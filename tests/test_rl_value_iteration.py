@@ -1,0 +1,76 @@
+"""Unit tests for value iteration and policy extraction."""
+
+import pytest
+
+from repro.rl.mdp import TabularMDP
+from repro.rl.value_iteration import (
+    extract_policy,
+    q_values,
+    value_iteration,
+)
+
+
+def chain_mdp():
+    """s1 -> s2 -> goal with +10 at the end; 'stay' loops with 0."""
+    mdp = TabularMDP()
+    mdp.add_transition("s1", "go", "s2", reward=0.0)
+    mdp.add_transition("s1", "stay", "s1", reward=0.0)
+    mdp.add_transition("s2", "go", "goal", reward=10.0)
+    mdp.add_transition("s2", "stay", "s2", reward=0.0)
+    mdp.mark_terminal("goal")
+    return mdp
+
+
+class TestValueIteration:
+    def test_chain_values(self):
+        result = value_iteration(chain_mdp(), discount=0.9, tolerance=1e-10)
+        assert result.values["s2"] == pytest.approx(10.0)
+        assert result.values["s1"] == pytest.approx(9.0)
+        assert result.values["goal"] == 0.0
+        assert result.residual <= 1e-10
+
+    def test_stochastic_transition_expected_value(self):
+        mdp = TabularMDP()
+        mdp.add_transition("s", "a", "win", probability=0.5, reward=10.0)
+        mdp.add_transition("s", "a", "lose", probability=0.5, reward=0.0)
+        mdp.mark_terminal("win")
+        mdp.mark_terminal("lose")
+        result = value_iteration(mdp, discount=0.9)
+        assert result.values["s"] == pytest.approx(5.0)
+
+    def test_discount_zero_is_myopic(self):
+        result = value_iteration(chain_mdp(), discount=0.0)
+        assert result.values["s1"] == 0.0
+        assert result.values["s2"] == 10.0
+
+    def test_discount_bounds(self):
+        with pytest.raises(ValueError):
+            value_iteration(chain_mdp(), discount=1.0)
+
+    def test_max_iterations_respected(self):
+        result = value_iteration(chain_mdp(), tolerance=0.0, max_iterations=3)
+        assert result.iterations == 3
+
+
+class TestPolicyExtraction:
+    def test_optimal_policy(self):
+        mdp = chain_mdp()
+        result = value_iteration(mdp, discount=0.9)
+        policy = extract_policy(mdp, result.values, discount=0.9)
+        assert policy == {"s1": "go", "s2": "go"}
+
+    def test_terminal_excluded_from_policy(self):
+        mdp = chain_mdp()
+        result = value_iteration(mdp, discount=0.9)
+        policy = extract_policy(mdp, result.values, discount=0.9)
+        assert "goal" not in policy
+
+
+class TestQValues:
+    def test_q_consistency(self):
+        mdp = chain_mdp()
+        result = value_iteration(mdp, discount=0.9, tolerance=1e-10)
+        q = q_values(mdp, result.values, discount=0.9)
+        assert q["s2"]["go"] == pytest.approx(10.0)
+        assert q["s2"]["stay"] == pytest.approx(9.0)
+        assert max(q["s1"].values()) == pytest.approx(result.values["s1"])

@@ -1,0 +1,58 @@
+"""Unit tests for threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.calibration import (
+    calibrate_threshold,
+    false_positive_rate,
+)
+from repro.sensors.signals import SignalProfile, SignalSource
+
+
+class TestCalibrateThreshold:
+    def test_threshold_separates_clear_distributions(self):
+        idle = [0.1, 0.2, 0.15, 0.05]
+        active = [2.0, 1.8, 2.2, 1.9]
+        result = calibrate_threshold(idle, active)
+        assert result.separable
+        assert max(idle) < result.threshold < min(active)
+
+    def test_overlapping_distributions_flagged(self):
+        idle = [0.5, 1.5, 1.0]
+        active = [0.8, 1.2, 1.0]
+        result = calibrate_threshold(idle, active, idle_quantile=1.0,
+                                     active_quantile=0.0)
+        assert not result.separable
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold([], [1.0])
+        with pytest.raises(ValueError):
+            calibrate_threshold([1.0], [])
+
+    def test_on_synthetic_signal_source(self):
+        rng = np.random.default_rng(0)
+        source = SignalSource(SignalProfile(burst_probability=0.99), rng)
+        idle = source.read_trace(0.0, 500, 10.0)
+        source.begin_use(100.0)
+        active = [source.read(100.0 + t) for t in range(200)]
+        result = calibrate_threshold(idle, active)
+        assert result.separable
+        # The shipped default threshold (1.0) should be in the same zone.
+        assert 0.3 < result.threshold < 2.0
+
+
+class TestFalsePositiveRate:
+    def test_rate_computation(self):
+        assert false_positive_rate([0.1, 0.2, 1.5, 0.3], 1.0) == 0.25
+
+    def test_default_threshold_near_zero_on_noise(self):
+        rng = np.random.default_rng(1)
+        source = SignalSource(SignalProfile(), rng)
+        idle = source.read_trace(0.0, 5000, 10.0)
+        assert false_positive_rate(idle, 1.0) < 0.001
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            false_positive_rate([], 1.0)

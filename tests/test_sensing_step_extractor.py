@@ -1,0 +1,93 @@
+"""Unit tests for StepID extraction."""
+
+import pytest
+
+from repro.core.adl import IDLE_STEP_ID
+from repro.sensing.step_extractor import StepExtractor
+
+
+@pytest.fixture
+def extractor(sim):
+    events = []
+    extractor = StepExtractor(sim, idle_timeout=30.0, on_step=events.append)
+    extractor.test_events = events
+    return extractor
+
+
+class TestTransitions:
+    def test_first_tool_transitions_from_idle(self, sim, extractor):
+        event = extractor.observe_tool(3)
+        assert event.step_id == 3
+        assert event.previous_step_id == IDLE_STEP_ID
+        assert extractor.current_step_id == 3
+
+    def test_repeat_same_tool_no_transition(self, sim, extractor):
+        extractor.observe_tool(3)
+        assert extractor.observe_tool(3) is None
+        assert extractor.transitions == 1
+
+    def test_new_tool_transitions(self, sim, extractor):
+        extractor.observe_tool(3)
+        event = extractor.observe_tool(4)
+        assert (event.previous_step_id, event.step_id) == (3, 4)
+
+    def test_step_log_accumulates(self, sim, extractor):
+        for tool in (1, 1, 2, 3):
+            extractor.observe_tool(tool)
+        assert [e.step_id for e in extractor.step_log] == [1, 2, 3]
+
+
+class TestIdleTimer:
+    def test_idle_emitted_after_timeout(self, sim, extractor):
+        extractor.observe_tool(3)
+        sim.run_until(31.0)
+        assert extractor.current_step_id == IDLE_STEP_ID
+        assert [e.step_id for e in extractor.test_events] == [3, IDLE_STEP_ID]
+
+    def test_activity_rearms_timer(self, sim, extractor):
+        extractor.observe_tool(3)
+        sim.run_until(20.0)
+        extractor.observe_tool(3)  # same tool still resets the clock
+        sim.run_until(40.0)
+        assert extractor.current_step_id == 3
+        sim.run_until(51.0)
+        assert extractor.current_step_id == IDLE_STEP_ID
+
+    def test_no_duplicate_idle_events(self, sim, extractor):
+        extractor.observe_tool(3)
+        sim.run_until(100.0)
+        idles = [e for e in extractor.test_events if e.step_id == IDLE_STEP_ID]
+        assert len(idles) == 1
+
+    def test_usage_after_idle_transitions_from_idle(self, sim, extractor):
+        extractor.observe_tool(3)
+        sim.run_until(31.0)
+        event = extractor.observe_tool(4)
+        assert event.previous_step_id == IDLE_STEP_ID
+
+    def test_idle_event_time_is_exact(self, sim, extractor):
+        extractor.observe_tool(3)
+        sim.run()
+        idle = extractor.test_events[-1]
+        assert idle.time == pytest.approx(30.0)
+
+
+class TestReset:
+    def test_reset_back_to_idle_without_event(self, sim, extractor):
+        extractor.observe_tool(3)
+        extractor.reset()
+        assert extractor.current_step_id == IDLE_STEP_ID
+        # No idle event was emitted by the reset itself.
+        assert [e.step_id for e in extractor.test_events] == [3]
+
+    def test_reset_disarms_timer(self, sim, extractor):
+        extractor.observe_tool(3)
+        extractor.reset()
+        sim.run_until(100.0)
+        assert [e.step_id for e in extractor.test_events] == [3]
+
+
+class TestValidation:
+    def test_positive_timeout_required(self, sim):
+        with pytest.raises(ValueError):
+            StepExtractor(sim, idle_timeout=0.0, on_step=lambda e: None)

@@ -1,0 +1,111 @@
+"""Unit tests for the node energy model."""
+
+import numpy as np
+import pytest
+
+from repro.core.adl import SensorType, Tool
+from repro.core.config import RadioConfig, SensingConfig
+from repro.sensors.battery import (
+    Battery,
+    PowerProfile,
+    estimate_lifetime_days,
+)
+from repro.sensors.pavenet import PavenetNode
+from repro.sensors.radio import RadioMedium
+from repro.sensors.signals import SignalProfile, SignalSource
+
+
+class TestBattery:
+    def test_drain_accounting(self):
+        battery = Battery(capacity_mj=100.0)
+        assert battery.drain(30.0)
+        assert battery.remaining_fraction == pytest.approx(0.7)
+
+    def test_depletion(self):
+        battery = Battery(capacity_mj=10.0)
+        assert not battery.drain(15.0)
+        assert battery.depleted
+        assert battery.remaining_fraction == 0.0
+
+    def test_depleted_battery_stays_depleted(self):
+        battery = Battery(capacity_mj=1.0)
+        battery.drain(2.0)
+        assert not battery.drain(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mj=0.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_mj=10.0).drain(-1.0)
+        with pytest.raises(ValueError):
+            PowerProfile(sample_cost_mj=-1.0)
+
+
+class TestLifetimeEstimate:
+    def test_lower_sampling_rate_lives_longer(self):
+        profile = PowerProfile()
+        assert estimate_lifetime_days(profile, 2.0) > estimate_lifetime_days(
+            profile, 10.0
+        )
+
+    def test_ballpark_at_10hz(self):
+        # PIC18+CC1000 on two AA cells: several hundred days at 10 Hz.
+        days = estimate_lifetime_days(PowerProfile(), 10.0)
+        assert 100 < days < 2000
+
+    def test_sampling_rate_positive(self):
+        with pytest.raises(ValueError):
+            estimate_lifetime_days(PowerProfile(), 0.0)
+
+
+class TestNodeIntegration:
+    @pytest.fixture
+    def node(self, sim):
+        radio = RadioMedium(
+            sim, RadioConfig(loss_probability=0.0), np.random.default_rng(0)
+        )
+        tool = Tool(7, "cup", SensorType.ACCELEROMETER)
+        source = SignalSource(
+            SignalProfile(burst_probability=0.9), np.random.default_rng(1)
+        )
+        # Tiny battery: ~40 samples' worth of energy.
+        battery = Battery(capacity_mj=2.0)
+        return PavenetNode(
+            sim=sim,
+            tool=tool,
+            source=source,
+            radio=radio,
+            config=SensingConfig(),
+            battery=battery,
+        )
+
+    def test_node_dies_when_battery_depletes(self, sim, node):
+        node.start()
+        sim.run_until(60.0)
+        assert node.battery.depleted
+        # The firmware loop exited: sampling stopped well before 60 s
+        # of 10 Hz sampling (600 samples >> 40 sample budget).
+        assert node.detector.samples_seen < 100
+
+    def test_dead_node_reports_nothing(self, sim, node):
+        node.start()
+        sim.run_until(10.0)  # battery dies within ~4 s
+        node.source.begin_use(sim.now, duration=5.0)
+        reports_at_death = node.usage_reports
+        sim.run_until(20.0)
+        assert node.usage_reports == reports_at_death
+
+    def test_mains_powered_node_never_dies(self, sim):
+        radio = RadioMedium(
+            sim, RadioConfig(loss_probability=0.0), np.random.default_rng(0)
+        )
+        tool = Tool(8, "pot", SensorType.PRESSURE)
+        source = SignalSource(SignalProfile(), np.random.default_rng(1))
+        node = PavenetNode(
+            sim=sim, tool=tool, source=source, radio=radio,
+            config=SensingConfig(),
+        )
+        node.start()
+        sim.run_until(120.0)
+        assert node.running
+        assert node.detector.samples_seen > 1000

@@ -1,0 +1,89 @@
+"""Unit tests for the 3-of-10 usage detector."""
+
+import pytest
+
+from repro.sensors.detector import KofNDetector
+
+
+def detector(**kwargs):
+    defaults = dict(threshold=1.0, k=3, n=10, refractory_samples=0)
+    defaults.update(kwargs)
+    return KofNDetector(**defaults)
+
+
+class TestRule:
+    def test_detects_on_kth_exceedance_in_window(self):
+        det = detector()
+        assert not det.observe(2.0)
+        assert not det.observe(2.0)
+        assert det.observe(2.0)
+
+    def test_no_detection_below_threshold(self):
+        det = detector()
+        for _ in range(50):
+            assert not det.observe(0.5)
+
+    def test_threshold_is_strict(self):
+        det = detector()
+        for _ in range(30):
+            assert not det.observe(1.0)  # equal is not "surpass"
+
+    def test_exceedances_must_fit_one_window(self):
+        det = detector()
+        # Two bursts, then enough quiet samples to push them out of
+        # the 10-sample window, then two more: never 3 in a window.
+        samples = [2.0, 2.0] + [0.0] * 9 + [2.0, 2.0]
+        assert det.observe_trace(samples) == 0
+
+    def test_spread_exceedances_within_window_detect(self):
+        det = detector()
+        samples = [2.0, 0.0, 0.0, 2.0, 0.0, 0.0, 2.0]
+        assert det.observe_trace(samples) == 1
+
+    def test_window_cleared_after_detection(self):
+        det = detector()
+        det.observe_trace([2.0, 2.0, 2.0])
+        assert det.exceedances_in_window == 0
+
+
+class TestRefractory:
+    def test_refractory_suppresses_redetection(self):
+        det = detector(refractory_samples=5)
+        assert det.observe_trace([2.0] * 8) == 1
+
+    def test_detection_possible_after_refractory(self):
+        det = detector(refractory_samples=2)
+        # 3 bursts -> detect; 2 swallowed by refractory; 3 more -> detect.
+        assert det.observe_trace([2.0] * 8) == 2
+
+    def test_counters(self):
+        det = detector(refractory_samples=0)
+        det.observe_trace([2.0] * 6)
+        assert det.detections == 2
+        assert det.samples_seen == 6
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        det = detector(refractory_samples=10)
+        det.observe_trace([2.0] * 3)
+        det.reset()
+        assert det.detections == 0
+        assert det.samples_seen == 0
+        assert det.observe_trace([2.0] * 3) == 1
+
+
+class TestValidation:
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            KofNDetector(threshold=1.0, k=0, n=10)
+        with pytest.raises(ValueError):
+            KofNDetector(threshold=1.0, k=11, n=10)
+
+    def test_negative_refractory(self):
+        with pytest.raises(ValueError):
+            KofNDetector(threshold=1.0, refractory_samples=-1)
+
+    def test_k_equals_one(self):
+        det = detector(k=1)
+        assert det.observe(2.0)

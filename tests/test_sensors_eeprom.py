@@ -1,0 +1,46 @@
+"""Unit tests for the EEPROM ring log."""
+
+import pytest
+
+from repro.sensors.eeprom import RECORD_SIZE, EepromLog, EepromRecord
+
+
+def record(seq):
+    return EepromRecord(timestamp=float(seq), node_uid=1, sequence=seq)
+
+
+class TestCapacity:
+    def test_capacity_from_bytes(self):
+        log = EepromLog(capacity_bytes=10 * RECORD_SIZE)
+        assert log.capacity_records == 10
+
+    def test_default_is_pavenet_16kb(self):
+        log = EepromLog()
+        assert log.capacity_records == (16 * 1024) // RECORD_SIZE
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            EepromLog(capacity_bytes=RECORD_SIZE - 1)
+
+
+class TestRingSemantics:
+    def test_append_and_read_back(self):
+        log = EepromLog(capacity_bytes=4 * RECORD_SIZE)
+        for seq in range(3):
+            log.append(record(seq))
+        assert [r.sequence for r in log.records()] == [0, 1, 2]
+        assert len(log) == 3
+
+    def test_oldest_evicted_when_full(self):
+        log = EepromLog(capacity_bytes=3 * RECORD_SIZE)
+        for seq in range(5):
+            log.append(record(seq))
+        assert [r.sequence for r in log.records()] == [2, 3, 4]
+        assert log.overwrites == 2
+        assert log.writes == 5
+
+    def test_used_bytes(self):
+        log = EepromLog(capacity_bytes=10 * RECORD_SIZE)
+        log.append(record(0))
+        log.append(record(1))
+        assert log.used_bytes() == 2 * RECORD_SIZE

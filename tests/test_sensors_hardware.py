@@ -1,0 +1,38 @@
+"""Unit tests for the PAVENET hardware specification (Table 1)."""
+
+from repro.core.adl import SensorType
+from repro.sensors.hardware import LED_COLORS, PAVENET_SPEC
+
+
+class TestSpec:
+    def test_paper_values(self):
+        assert PAVENET_SPEC.cpu == "Microchip PIC18LF4620"
+        assert PAVENET_SPEC.ram_bytes == 4 * 1024
+        assert PAVENET_SPEC.rom_bytes == 64 * 1024
+        assert PAVENET_SPEC.wireless == "ChipCon CC1000"
+        assert PAVENET_SPEC.eeprom_bytes == 16 * 1024
+        assert PAVENET_SPEC.led_count == 4
+
+    def test_io_lines(self):
+        assert PAVENET_SPEC.io == ("UART", "GPIO", "I2C")
+
+    def test_all_five_sensors(self):
+        assert set(PAVENET_SPEC.sensors) == {
+            SensorType.ACCELEROMETER,
+            SensorType.PRESSURE,
+            SensorType.BRIGHTNESS,
+            SensorType.TEMPERATURE,
+            SensorType.MOTION,
+        }
+
+    def test_table_rows_cover_every_field(self):
+        rows = dict(PAVENET_SPEC.table_rows())
+        assert rows["RAM"] == "4 KB"
+        assert rows["ROM"] == "64 KB"
+        assert "EEPROM(16 KB)" in rows["Peripherals"]
+        assert "3-axis accelerometer" in rows["Sensors"]
+
+    def test_led_colors(self):
+        assert len(LED_COLORS) == PAVENET_SPEC.led_count
+        assert "green" in LED_COLORS
+        assert "red" in LED_COLORS

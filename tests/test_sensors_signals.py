@@ -1,0 +1,89 @@
+"""Unit tests for synthetic sensor waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.signals import SignalProfile, SignalSource
+
+
+def source(profile=None, seed=0):
+    return SignalSource(
+        profile if profile is not None else SignalProfile(),
+        np.random.default_rng(seed),
+    )
+
+
+class TestProfileValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burst_probability": 0.0},
+            {"burst_probability": 1.5},
+            {"burst_mean": 0.0},
+            {"noise_sd": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SignalProfile(**kwargs)
+
+
+class TestRegimes:
+    def test_idle_stays_below_threshold(self):
+        src = source()
+        samples = [src.read(t * 0.1) for t in range(2000)]
+        assert max(samples) < 1.0  # noise_sd=0.18 => ~5.5 sigma
+
+    def test_active_produces_bursts(self):
+        src = source(SignalProfile(burst_probability=0.9))
+        src.begin_use(0.0)
+        samples = [src.read(t * 0.1) for t in range(100)]
+        assert sum(1 for s in samples if s > 1.0) > 50
+
+    def test_samples_non_negative(self):
+        src = source()
+        src.begin_use(0.0)
+        assert all(src.read(t * 0.1) >= 0.0 for t in range(200))
+
+    def test_end_use_returns_to_baseline(self):
+        src = source(SignalProfile(burst_probability=0.9))
+        src.begin_use(0.0)
+        src.end_use()
+        samples = [src.read(t * 0.1) for t in range(500)]
+        assert max(samples) < 1.0
+
+    def test_duration_auto_expires(self):
+        src = source(SignalProfile(burst_probability=0.9))
+        src.begin_use(0.0, duration=5.0)
+        assert src.active
+        src.read(6.0)
+        assert not src.active
+
+    def test_active_until_boundary_is_exclusive(self):
+        src = source(SignalProfile(burst_probability=0.9))
+        src.begin_use(0.0, duration=5.0)
+        src.read(4.9)
+        assert src.active
+        src.read(5.0)
+        assert not src.active
+
+
+class TestReadTrace:
+    def test_trace_length_and_values(self):
+        src = source(SignalProfile(burst_probability=0.9))
+        src.begin_use(0.0, duration=100.0)
+        trace = src.read_trace(0.0, 50, 10.0)
+        assert trace.shape == (50,)
+        assert (trace >= 0).all()
+
+    def test_trace_respects_expiry(self):
+        src = source(SignalProfile(burst_probability=0.99, burst_mean=3.0))
+        src.begin_use(0.0, duration=1.0)
+        trace = src.read_trace(0.0, 100, 10.0)
+        # After the first second (10 samples) the source is idle.
+        assert max(trace[12:]) < 1.0
+
+    def test_reproducible_given_seed(self):
+        a = source(seed=5).read_trace(0.0, 20, 10.0)
+        b = source(seed=5).read_trace(0.0, 20, 10.0)
+        assert np.allclose(a, b)

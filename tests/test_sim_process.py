@@ -1,0 +1,163 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.kernel import Signal
+from repro.sim.process import Process, Timeout, Wait
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        log = []
+
+        def body():
+            yield Timeout(1.0)
+            log.append(sim.now)
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_start_delay(self, sim):
+        log = []
+
+        def body():
+            log.append(sim.now)
+            yield Timeout(1.0)
+
+        Process(sim, body(), delay=5.0)
+        sim.run()
+        assert log == [5.0]
+
+    def test_result_and_done(self, sim):
+        def body():
+            yield Timeout(1.0)
+            return 42
+
+        process = Process(sim, body())
+        assert not process.done
+        sim.run()
+        assert process.done
+        assert process.result == 42
+
+    def test_finished_signal_fires_once_with_result(self, sim):
+        results = []
+
+        def body():
+            yield Timeout(1.0)
+            return "ok"
+
+        process = Process(sim, body())
+        process.finished.subscribe(results.append)
+        sim.run()
+        assert results == ["ok"]
+
+
+class TestWait:
+    def test_wait_receives_payload(self, sim):
+        signal = Signal("s")
+        log = []
+
+        def body():
+            payload = yield Wait(signal)
+            log.append(payload)
+
+        Process(sim, body())
+        sim.run()
+        sim.schedule(1.0, lambda: signal.fire("hello"))
+        sim.run()
+        assert log == ["hello"]
+
+    def test_wait_timeout_returns_sentinel(self, sim):
+        signal = Signal("never")
+        log = []
+
+        def body():
+            payload = yield Wait(signal, timeout=3.0)
+            log.append(payload)
+            log.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert log == [Wait.TIMED_OUT, 3.0]
+
+    def test_signal_before_timeout_wins(self, sim):
+        signal = Signal("s")
+        log = []
+
+        def body():
+            payload = yield Wait(signal, timeout=10.0)
+            log.append(payload)
+
+        Process(sim, body())
+        sim.schedule(1.0, lambda: signal.fire("fast"))
+        sim.run()
+        assert log == ["fast"]
+        # The timeout event must not fire afterwards.
+        assert sim.peek() is None
+
+    def test_second_fire_does_not_double_resume(self, sim):
+        signal = Signal("s")
+        log = []
+
+        def body():
+            payload = yield Wait(signal)
+            log.append(payload)
+            yield Timeout(100.0)
+
+        Process(sim, body())
+        sim.schedule(1.0, lambda: signal.fire("a"))
+        sim.schedule(2.0, lambda: signal.fire("b"))
+        sim.run()
+        assert log == ["a"]
+
+
+class TestInterrupt:
+    def test_interrupt_stops_process(self, sim):
+        log = []
+
+        def body():
+            yield Timeout(1.0)
+            log.append("ran")
+
+        process = Process(sim, body())
+        process.interrupt()
+        sim.run()
+        assert log == []
+        assert process.done
+
+    def test_interrupt_done_process_is_noop(self, sim):
+        def body():
+            yield Timeout(1.0)
+            return 1
+
+        process = Process(sim, body())
+        sim.run()
+        process.interrupt()
+        assert process.result == 1
+
+    def test_interrupt_while_waiting_unsubscribes(self, sim):
+        signal = Signal("s")
+        log = []
+
+        def body():
+            payload = yield Wait(signal)
+            log.append(payload)
+
+        process = Process(sim, body())
+        sim.run()
+        process.interrupt()
+        signal.fire("late")
+        assert log == []
+
+
+class TestErrors:
+    def test_bad_directive_raises(self, sim):
+        def body():
+            yield "not a directive"
+
+        Process(sim, body())
+        with pytest.raises(TypeError):
+            sim.run()

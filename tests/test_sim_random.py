@@ -1,0 +1,58 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.random import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "radio") == derive_seed(42, "radio")
+
+    def test_name_separates(self):
+        assert derive_seed(42, "radio") != derive_seed(42, "signal")
+
+    def test_master_seed_separates(self):
+        assert derive_seed(1, "radio") != derive_seed(2, "radio")
+
+    def test_fits_in_63_bits(self):
+        for name in ("a", "b", "radio.1", "x" * 100):
+            assert 0 <= derive_seed(123, name) < 2**63
+
+
+class TestRandomStreams:
+    def test_same_name_same_generator_object(self):
+        streams = RandomStreams(0)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_independent_draws(self):
+        streams = RandomStreams(0)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert list(a) != list(b)
+
+    def test_reproducible_across_instances(self):
+        first = RandomStreams(7).get("x").random(5)
+        second = RandomStreams(7).get("x").random(5)
+        assert list(first) == list(second)
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        solo = RandomStreams(7)
+        value_solo = solo.get("a").random()
+
+        pair = RandomStreams(7)
+        pair.get("b").random()  # interleave another stream
+        value_pair = pair.get("a").random()
+        assert value_solo == value_pair
+
+    def test_fork_is_deterministic_and_distinct(self):
+        streams = RandomStreams(7)
+        fork_a = streams.fork("child")
+        fork_b = RandomStreams(7).fork("child")
+        assert fork_a.master_seed == fork_b.master_seed
+        assert fork_a.master_seed != streams.master_seed
+
+    def test_spawned_counts_streams(self):
+        streams = RandomStreams(0)
+        streams.get("a")
+        streams.get("b")
+        streams.get("a")
+        assert streams.spawned() == 2
