@@ -1,0 +1,66 @@
+"""Bench: the parallel experiment runner and the trained-policy cache.
+
+Times the full ``--fast`` report three ways -- serial, ``--jobs 4``
+with a cold policy cache, and ``--jobs 4`` again with the cache warm
+-- asserts all three reports are byte-identical (the determinism
+contract of :mod:`repro.evalx.parallel`), and writes the measurements
+to ``BENCH_runner.json`` at the repo root: per-section cell seconds
+plus the wall-clock of each mode and the warm-cache speedup.
+
+On a single-core box the process pool cannot beat serial wall-clock;
+the warm cache is what delivers the speedup there, which is why both
+are recorded separately.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.evalx.runner import run_all
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+_JOBS = 4
+
+
+def _timed_run(**kwargs):
+    timings = {}
+    start = time.perf_counter()
+    report = run_all(fast=True, timings=timings, **kwargs)
+    return report, time.perf_counter() - start, timings
+
+
+def test_runner_parallel_and_cache(benchmark, tmp_path):
+    cache = str(tmp_path / "policy-cache")
+
+    serial, serial_s, sections = _timed_run()
+    parallel_cold, cold_s, _ = _timed_run(jobs=_JOBS, cache_dir=cache)
+    parallel_warm, warm_s, _ = _timed_run(jobs=_JOBS, cache_dir=cache)
+
+    assert parallel_cold == serial
+    assert parallel_warm == serial
+
+    # The benchmarked quantity is the steady state: warm cache, jobs=4.
+    benchmark.pedantic(
+        run_all, kwargs={"fast": True, "jobs": _JOBS, "cache_dir": cache},
+        rounds=1, iterations=1,
+    )
+
+    payload = {
+        "mode": "--fast",
+        "jobs": _JOBS,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_cold_cache_seconds": round(cold_s, 3),
+        "parallel_warm_cache_seconds": round(warm_s, 3),
+        "warm_cache_speedup_vs_serial": round(serial_s / warm_s, 2),
+        "byte_identical": True,
+        "section_cell_seconds": {
+            name: round(seconds, 3) for name, seconds in sections.items()
+        },
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {_OUT}")
+    print(json.dumps(payload, indent=2))
+
+    assert warm_s <= cold_s * 1.5  # warm cache must not regress badly

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.adls.library import default_registry
@@ -72,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate every paper table and figure"
     )
     report.add_argument("--fast", action="store_true")
+    report.add_argument("--no-ablations", action="store_true",
+                        help="skip the ablation sweeps")
+    report.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (output is byte-identical "
+                        "for every N)")
+    report.add_argument("--cache", metavar="DIR",
+                        help="trained-policy cache directory")
+    report.add_argument("--timing", action="store_true",
+                        help="print per-section timings to stderr")
     report.add_argument("--output", help="also write the report to a file")
     return parser
 
@@ -100,14 +110,41 @@ def _resolve_config(args: argparse.Namespace) -> CoReDAConfig:
     return CoReDAConfig(seed=args.seed)
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
+def _parse_routine(
+    parser: argparse.ArgumentParser, definition, spec: str
+) -> Routine:
+    """Parse ``--routine 1,3,2,4`` or exit with a readable error."""
+    step_ids = []
+    for part in spec.split(","):
+        part = part.strip()
+        try:
+            step_ids.append(int(part))
+        except ValueError:
+            parser.error(
+                f"--routine: {part!r} is not a StepID; expected "
+                f"comma-separated integers, e.g. 1,3,2,4"
+            )
+    known = {step.step_id for step in definition.adl.steps}
+    unknown = [step_id for step_id in step_ids if step_id not in known]
+    if unknown:
+        parser.error(
+            f"--routine: no step {unknown[0]} in "
+            f"{definition.adl.name} (StepIDs: "
+            f"{', '.join(str(s) for s in sorted(known))})"
+        )
+    try:
+        return Routine(definition.adl, step_ids)
+    except ValueError as exc:
+        parser.error(f"--routine: {exc}")
+
+
+def _cmd_train(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     registry = default_registry()
     definition = registry.get(args.adl)
     system = CoReDA.build(definition, _resolve_config(args))
     routine = None
     if args.routine:
-        step_ids = [int(part) for part in args.routine.split(",")]
-        routine = Routine(definition.adl, step_ids)
+        routine = _parse_routine(parser, definition, args.routine)
     result = system.train_offline(routine=routine, episodes=args.episodes)
     print(f"trained {args.adl} on {args.episodes} episodes "
           f"(routine {list(result.routine.step_ids)})")
@@ -170,30 +207,46 @@ def _cmd_scenario() -> int:
     return 0 if result.structure_ok() else 1
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.evalx.runner import run_all
+def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.evalx.runner import (
+        check_cache_dir,
+        print_timings,
+        run_all,
+        write_report,
+    )
 
-    text = run_all(fast=args.fast)
-    print(text)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
+    if args.cache:
+        check_cache_dir(parser, args.cache)
+    timings = {}
+    start = time.perf_counter()
+    text = run_all(
+        fast=args.fast,
+        include_ablations=not args.no_ablations,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        timings=timings,
+    )
+    elapsed = time.perf_counter() - start
+    write_report(text, output=args.output)
+    if args.timing:
+        print_timings(timings, elapsed, sys.stderr)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list-adls":
         return _cmd_list_adls()
     if args.command == "train":
-        return _cmd_train(args)
+        return _cmd_train(args, parser)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "scenario":
         return _cmd_scenario()
     if args.command == "report":
-        return _cmd_report(args)
+        return _cmd_report(args, parser)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

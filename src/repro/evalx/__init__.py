@@ -10,6 +10,7 @@ One module per artifact:
 ``scenario``              Figure 1 (the typical tea-making scenario)
 ``baseline_compare``      personalization vs pre-planned baselines
 ``ablations``             λ / reward / detector / Dyna / radio / SARSA
+``parallel``              deterministic cell fan-out (``--jobs N``)
 ``runner``                run everything, write the report
 ========================  =========================================
 """
@@ -31,12 +32,20 @@ from repro.evalx.learning_curve import (
     LearningCurveResult,
     run_learning_curve,
 )
+from repro.evalx.parallel import (
+    Cell,
+    Section,
+    cell_seed,
+    run_cells,
+    run_section,
+    run_sections,
+)
 from repro.evalx.predict_precision import (
     PredictPrecisionResult,
     PredictRow,
     run_predict_precision,
 )
-from repro.evalx.runner import run_all
+from repro.evalx.runner import run_all, write_report
 from repro.evalx.scenario import ScenarioResult, TimelineEvent, run_tea_scenario
 from repro.evalx.sensitivity import alpha_sweep, epsilon_sweep
 from repro.evalx.tables import ascii_curve, format_table
@@ -47,19 +56,26 @@ __all__ = [
     "BaselineRow",
     "BurdenResult",
     "BurdenRow",
+    "Cell",
     "CurveRun",
     "ExtractPrecisionResult",
     "LearningCurveResult",
     "PredictPrecisionResult",
     "PredictRow",
     "ScenarioResult",
+    "Section",
     "StepPrecision",
     "TimelineEvent",
     "alpha_sweep",
     "ascii_curve",
+    "cell_seed",
     "epsilon_sweep",
     "format_table",
     "run_all",
+    "run_cells",
+    "run_section",
+    "run_sections",
+    "write_report",
     "run_baseline_comparison",
     "run_burden_study",
     "run_extract_precision",

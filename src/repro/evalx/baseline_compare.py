@@ -21,7 +21,7 @@ happens to equal the canonical one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,13 +31,27 @@ from repro.baselines.ngram import NGramPredictor
 from repro.core.adl import ADL, Routine
 from repro.core.config import PlanningConfig
 from repro.core.metrics import mean
+from repro.evalx.parallel import Cell, Section, run_section
 from repro.evalx.tables import format_table
-from repro.planning.predictor import NextStepPredictor
 from repro.planning.state import episode_states
-from repro.planning.trainer import RoutineTrainer
+from repro.planning.store import PolicyCache, train_routine_cached
 from repro.resident.routines import personalized_routine, training_episodes
 
-__all__ = ["BaselineRow", "BaselineComparisonResult", "run_baseline_comparison"]
+__all__ = [
+    "BaselineRow",
+    "BaselineComparisonResult",
+    "run_baseline_comparison",
+    "plan_baseline_comparison",
+]
+
+#: Report row order (and the dict keys each user cell returns).
+_SYSTEMS = (
+    "CoReDA (TD-lambda Q)",
+    "bigram",
+    "trigram",
+    "fixed sequence",
+    "MDP planner (canonical)",
+)
 
 
 @dataclass(frozen=True)
@@ -94,6 +108,97 @@ def _routine_accuracy(predict, routine: Routine) -> float:
     return correct / total
 
 
+def _user_cell(
+    adl: ADL,
+    routine_ids: Sequence[int],
+    config: PlanningConfig,
+    trainer_seed: int,
+    episodes: int,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, float]:
+    """One user's accuracies under every system (pure, picklable)."""
+    routine = Routine(adl, list(routine_ids))
+    log = training_episodes(routine, episodes)
+    cache = PolicyCache(cache_dir) if cache_dir else None
+    trained = train_routine_cached(
+        adl,
+        list(routine.step_ids),
+        config,
+        trainer_seed,
+        episodes,
+        cache=cache,
+    )
+    predictor = trained.predictor(adl)
+    bigram = NGramPredictor(order=1).fit(log)
+    trigram = NGramPredictor(order=2).fit(log)
+    canonical_fixed = FixedSequenceReminder(adl)
+    canonical_mdp = MdpPlannerBaseline(adl.canonical_routine())
+    return {
+        "CoReDA (TD-lambda Q)": _routine_accuracy(
+            predictor.predict_next_tool, routine
+        ),
+        "bigram": _routine_accuracy(bigram.predict_next_tool, routine),
+        "trigram": _routine_accuracy(trigram.predict_next_tool, routine),
+        "fixed sequence": _routine_accuracy(
+            canonical_fixed.predict_next_tool, routine
+        ),
+        "MDP planner (canonical)": _routine_accuracy(
+            canonical_mdp.predict_next_tool, routine
+        ),
+    }
+
+
+def plan_baseline_comparison(
+    adl: ADL,
+    n_users: int = 20,
+    episodes: int = 120,
+    seed: int = 0,
+    config: Optional[PlanningConfig] = None,
+    shuffle_probability: float = 0.8,
+    cache_dir: Optional[str] = None,
+) -> Section:
+    """The cohort comparison as a section of one cell per user.
+
+    The cohort's personalized routines are drawn here, at plan time,
+    from one sequential generator (so the cohort is identical to the
+    serial harness); each cell then trains and scores one user
+    independently.
+    """
+    config = config if config is not None else PlanningConfig()
+    rng = np.random.default_rng(seed)
+    routines = [
+        personalized_routine(adl, rng, shuffle_probability=shuffle_probability)
+        for _ in range(n_users)
+    ]
+    cells = [
+        Cell(
+            _user_cell,
+            (adl, list(routine.step_ids), config, seed * 1000 + user_index,
+             episodes, cache_dir),
+            label=f"baseline.user[{user_index}]",
+        )
+        for user_index, routine in enumerate(routines)
+    ]
+
+    def merge(per_user: List[Dict[str, float]]) -> BaselineComparisonResult:
+        pre_planned = {"fixed sequence", "MDP planner (canonical)"}
+        rows = []
+        for system in _SYSTEMS:
+            values = [user[system] for user in per_user]
+            rows.append(
+                BaselineRow(
+                    system=system,
+                    mean_accuracy=mean(values),
+                    perfect_users=sum(1 for v in values if v >= 0.999),
+                    total_users=n_users,
+                    needs_model_upfront=system in pre_planned,
+                )
+            )
+        return BaselineComparisonResult(adl_name=adl.name, rows=rows)
+
+    return Section(f"baseline.{adl.name}", cells, merge)
+
+
 def run_baseline_comparison(
     adl: ADL,
     n_users: int = 20,
@@ -101,54 +206,19 @@ def run_baseline_comparison(
     seed: int = 0,
     config: Optional[PlanningConfig] = None,
     shuffle_probability: float = 0.8,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> BaselineComparisonResult:
     """Evaluate all systems over a cohort of personalized routines."""
-    config = config if config is not None else PlanningConfig()
-    rng = np.random.default_rng(seed)
-    routines = [
-        personalized_routine(adl, rng, shuffle_probability=shuffle_probability)
-        for _ in range(n_users)
-    ]
-    scores = {name: [] for name in ("CoReDA (TD-lambda Q)", "bigram", "trigram",
-                                    "fixed sequence", "MDP planner (canonical)")}
-    canonical_fixed = FixedSequenceReminder(adl)
-    canonical_mdp = MdpPlannerBaseline(adl.canonical_routine())
-    for user_index, routine in enumerate(routines):
-        log = training_episodes(routine, episodes)
-        trainer = RoutineTrainer(
-            adl, config, rng=np.random.default_rng(seed * 1000 + user_index)
-        )
-        training = trainer.train(log, routine=routine)
-        predictor = NextStepPredictor.from_training(
-            training, require_converged=False
-        )
-        bigram = NGramPredictor(order=1).fit(log)
-        trigram = NGramPredictor(order=2).fit(log)
-        scores["CoReDA (TD-lambda Q)"].append(
-            _routine_accuracy(predictor.predict_next_tool, routine)
-        )
-        scores["bigram"].append(
-            _routine_accuracy(bigram.predict_next_tool, routine)
-        )
-        scores["trigram"].append(
-            _routine_accuracy(trigram.predict_next_tool, routine)
-        )
-        scores["fixed sequence"].append(
-            _routine_accuracy(canonical_fixed.predict_next_tool, routine)
-        )
-        scores["MDP planner (canonical)"].append(
-            _routine_accuracy(canonical_mdp.predict_next_tool, routine)
-        )
-    rows = []
-    pre_planned = {"fixed sequence", "MDP planner (canonical)"}
-    for system, values in scores.items():
-        rows.append(
-            BaselineRow(
-                system=system,
-                mean_accuracy=mean(values),
-                perfect_users=sum(1 for v in values if v >= 0.999),
-                total_users=n_users,
-                needs_model_upfront=system in pre_planned,
-            )
-        )
-    return BaselineComparisonResult(adl_name=adl.name, rows=rows)
+    return run_section(
+        plan_baseline_comparison(
+            adl,
+            n_users=n_users,
+            episodes=episodes,
+            seed=seed,
+            config=config,
+            shuffle_probability=shuffle_probability,
+            cache_dir=cache_dir,
+        ),
+        jobs=jobs,
+    )

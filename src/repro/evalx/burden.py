@@ -22,10 +22,16 @@ from typing import List, Optional, Sequence
 from repro.adls.library import ADLDefinition
 from repro.core.config import CoReDAConfig
 from repro.core.system import CoReDA
+from repro.evalx.parallel import Cell, Section, run_section
 from repro.evalx.tables import format_table
 from repro.resident.dementia import DementiaProfile
 
-__all__ = ["BurdenRow", "BurdenResult", "run_burden_study"]
+__all__ = [
+    "BurdenRow",
+    "BurdenResult",
+    "run_burden_study",
+    "plan_burden_study",
+]
 
 
 @dataclass(frozen=True)
@@ -87,43 +93,73 @@ class BurdenResult:
         )
 
 
+def _severity_cell(
+    definition: ADLDefinition,
+    severity: float,
+    episodes: int,
+    seed: int,
+) -> BurdenRow:
+    """One severity level's guided episodes (pure, picklable)."""
+    system = CoReDA.build(
+        definition, CoReDAConfig(seed=seed + int(severity * 100))
+    )
+    system.train_offline()
+    reliable = {
+        step.step_id: max(step.handling_duration, 5.0)
+        for step in definition.adl.steps
+    }
+    completed = 0
+    for index in range(episodes):
+        resident = system.create_resident(
+            dementia=DementiaProfile.from_severity(severity),
+            handling_overrides=reliable,
+            error_use_duration=5.0,
+            name=f"burden.{severity}.{index}",
+        )
+        outcome = system.run_episode(resident, horizon=3600.0)
+        completed += int(outcome.completed)
+    errors = system.trace.count("resident.error")
+    self_recoveries = system.trace.count("resident.self_recovery")
+    interventions = self_recoveries + system.reminding.caregiver_alerts
+    return BurdenRow(
+        severity=severity,
+        episodes=episodes,
+        completed=completed,
+        errors=errors,
+        caregiver_interventions=interventions,
+    )
+
+
+def plan_burden_study(
+    definition: ADLDefinition,
+    severities: Sequence[float] = (0.2, 0.5, 0.8),
+    episodes: int = 10,
+    seed: int = 0,
+) -> Section:
+    """The severity sweep as a section of one cell per severity."""
+    cells = [
+        Cell(
+            _severity_cell,
+            (definition, severity, episodes, seed),
+            label=f"burden.{severity}",
+        )
+        for severity in severities
+    ]
+
+    def merge(rows: List[BurdenRow]) -> BurdenResult:
+        return BurdenResult(adl_name=definition.adl.name, rows=list(rows))
+
+    return Section(f"burden.{definition.adl.name}", cells, merge)
+
+
 def run_burden_study(
     definition: ADLDefinition,
     severities: Sequence[float] = (0.2, 0.5, 0.8),
     episodes: int = 10,
     seed: int = 0,
+    jobs: int = 1,
 ) -> BurdenResult:
     """Run the severity sweep for one ADL."""
-    rows: List[BurdenRow] = []
-    for severity in severities:
-        system = CoReDA.build(
-            definition, CoReDAConfig(seed=seed + int(severity * 100))
-        )
-        system.train_offline()
-        reliable = {
-            step.step_id: max(step.handling_duration, 5.0)
-            for step in definition.adl.steps
-        }
-        completed = 0
-        for index in range(episodes):
-            resident = system.create_resident(
-                dementia=DementiaProfile.from_severity(severity),
-                handling_overrides=reliable,
-                error_use_duration=5.0,
-                name=f"burden.{severity}.{index}",
-            )
-            outcome = system.run_episode(resident, horizon=3600.0)
-            completed += int(outcome.completed)
-        errors = system.trace.count("resident.error")
-        self_recoveries = system.trace.count("resident.self_recovery")
-        interventions = self_recoveries + system.reminding.caregiver_alerts
-        rows.append(
-            BurdenRow(
-                severity=severity,
-                episodes=episodes,
-                completed=completed,
-                errors=errors,
-                caregiver_interventions=interventions,
-            )
-        )
-    return BurdenResult(adl_name=definition.adl.name, rows=rows)
+    return run_section(
+        plan_burden_study(definition, severities, episodes, seed), jobs=jobs
+    )

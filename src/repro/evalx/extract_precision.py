@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.adls.library import ADLDefinition
 from repro.core.config import CoReDAConfig
 from repro.core.metrics import proportion, wilson_interval
+from repro.evalx.parallel import Cell, Section, run_section
 from repro.evalx.tables import format_table
 from repro.sensing.subsystem import SensingSubsystem
 from repro.sensors.network import SensorNetwork
@@ -29,7 +30,12 @@ from repro.core.bus import EventBus
 from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
 
-__all__ = ["StepPrecision", "ExtractPrecisionResult", "run_extract_precision"]
+__all__ = [
+    "StepPrecision",
+    "ExtractPrecisionResult",
+    "run_extract_precision",
+    "plan_extract_precision",
+]
 
 #: Quiet time between trials so detector windows and radio retries
 #: from one trial cannot bleed into the next.
@@ -85,11 +91,90 @@ class ExtractPrecisionResult:
         )
 
 
+def _extract_cell(
+    definition: ADLDefinition,
+    samples_per_step: int,
+    config: CoReDAConfig,
+    seed: int,
+) -> List[StepPrecision]:
+    """One ADL's full node-radio-server replay (pure, picklable)."""
+    rows: List[StepPrecision] = []
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    bus = EventBus()
+    network = SensorNetwork(
+        sim=sim,
+        adl=definition.adl,
+        sensing_config=config.sensing,
+        radio_config=config.radio,
+        streams=streams.fork(definition.adl.name),
+        profiles=definition.signal_profiles,
+    )
+    sensing = SensingSubsystem(
+        sim=sim,
+        adl=definition.adl,
+        bus=bus,
+        config=config.sensing,
+        base_station=network.base_station,
+    )
+    network.start()
+    for step in definition.adl.steps:
+        detections = 0
+        for _ in range(samples_per_step):
+            before = len(sensing.history.of_tool(step.step_id))
+            network.source(step.step_id).begin_use(
+                sim.now, step.handling_duration
+            )
+            sim.run_until(sim.now + step.handling_duration + 2.0)
+            network.source(step.step_id).end_use()
+            sim.run_until(sim.now + _TRIAL_GAP)
+            after = len(sensing.history.of_tool(step.step_id))
+            if after > before:
+                detections += 1
+        rows.append(
+            StepPrecision(
+                adl_name=definition.adl.name,
+                step_name=step.name,
+                detections=detections,
+                trials=samples_per_step,
+            )
+        )
+    network.stop()
+    return rows
+
+
+def plan_extract_precision(
+    definitions: Sequence[ADLDefinition],
+    samples_per_step: int = 40,
+    config: Optional[CoReDAConfig] = None,
+    seed: int = 0,
+) -> Section:
+    """Table 3 as a section of one cell per ADL."""
+    config = config if config is not None else CoReDAConfig()
+    cells = [
+        Cell(
+            _extract_cell,
+            (definition, samples_per_step, config, seed),
+            label=f"extract.{definition.adl.name}",
+        )
+        for definition in definitions
+    ]
+
+    def merge(per_adl: List[List[StepPrecision]]) -> ExtractPrecisionResult:
+        rows: List[StepPrecision] = []
+        for adl_rows in per_adl:
+            rows.extend(adl_rows)
+        return ExtractPrecisionResult(rows=rows)
+
+    return Section("table3.extract", cells, merge)
+
+
 def run_extract_precision(
     definitions: Sequence[ADLDefinition],
     samples_per_step: int = 40,
     config: Optional[CoReDAConfig] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExtractPrecisionResult:
     """Regenerate Table 3 over ``definitions``.
 
@@ -97,48 +182,7 @@ def run_extract_precision(
     is one complete handling of the tool at the step's typical
     handling duration, through the full node-radio-server pipeline.
     """
-    config = config if config is not None else CoReDAConfig()
-    rows: List[StepPrecision] = []
-    for definition in definitions:
-        sim = Simulator()
-        streams = RandomStreams(seed)
-        bus = EventBus()
-        network = SensorNetwork(
-            sim=sim,
-            adl=definition.adl,
-            sensing_config=config.sensing,
-            radio_config=config.radio,
-            streams=streams.fork(definition.adl.name),
-            profiles=definition.signal_profiles,
-        )
-        sensing = SensingSubsystem(
-            sim=sim,
-            adl=definition.adl,
-            bus=bus,
-            config=config.sensing,
-            base_station=network.base_station,
-        )
-        network.start()
-        for step in definition.adl.steps:
-            detections = 0
-            for _ in range(samples_per_step):
-                before = len(sensing.history.of_tool(step.step_id))
-                network.source(step.step_id).begin_use(
-                    sim.now, step.handling_duration
-                )
-                sim.run_until(sim.now + step.handling_duration + 2.0)
-                network.source(step.step_id).end_use()
-                sim.run_until(sim.now + _TRIAL_GAP)
-                after = len(sensing.history.of_tool(step.step_id))
-                if after > before:
-                    detections += 1
-            rows.append(
-                StepPrecision(
-                    adl_name=definition.adl.name,
-                    step_name=step.name,
-                    detections=detections,
-                    trials=samples_per_step,
-                )
-            )
-        network.stop()
-    return ExtractPrecisionResult(rows=rows)
+    return run_section(
+        plan_extract_precision(definitions, samples_per_step, config, seed),
+        jobs=jobs,
+    )

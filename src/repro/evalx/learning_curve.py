@@ -17,16 +17,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.adl import ADL, Routine
 from repro.core.config import PlanningConfig
 from repro.core.metrics import mean, sample_sd
+from repro.evalx.parallel import Cell, Section, run_section
 from repro.evalx.tables import ascii_curve, format_table
-from repro.planning.trainer import LearningCurve, RoutineTrainer
+from repro.planning.store import PolicyCache, train_routine_cached
+from repro.planning.trainer import LearningCurve
 from repro.sim.random import derive_seed
 
-__all__ = ["CurveRun", "LearningCurveResult", "run_learning_curve"]
+__all__ = [
+    "CurveRun",
+    "LearningCurveResult",
+    "run_learning_curve",
+    "plan_learning_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -115,6 +120,66 @@ class LearningCurveResult:
         return "\n".join(lines) + "\n"
 
 
+def _curve_cell(
+    adl: ADL,
+    routine_ids: Sequence[int],
+    seed: int,
+    episodes: int,
+    criteria: Sequence[float],
+    config: PlanningConfig,
+    cache_dir: Optional[str] = None,
+) -> CurveRun:
+    """One seed's training run -- pure, picklable, cacheable."""
+    # Derive the stream from (seed, ADL name): two ADLs with the
+    # same chain length must not produce bit-identical curves.
+    rng_seed = derive_seed(seed, f"curve.{adl.name}")
+    cache = PolicyCache(cache_dir) if cache_dir else None
+    trained = train_routine_cached(
+        adl,
+        routine_ids,
+        config,
+        rng_seed,
+        episodes,
+        criteria=tuple(criteria),
+        cache=cache,
+    )
+    return CurveRun(
+        seed=seed, convergence=trained.convergence, curve=trained.curve
+    )
+
+
+def plan_learning_curve(
+    adl: ADL,
+    routine: Optional[Routine] = None,
+    episodes: int = 120,
+    seeds: Sequence[int] = tuple(range(10)),
+    criteria: Sequence[float] = (0.95, 0.98),
+    config: Optional[PlanningConfig] = None,
+    cache_dir: Optional[str] = None,
+) -> Section:
+    """Figure 4 for one ADL as a section of per-seed cells."""
+    if routine is None:
+        routine = adl.canonical_routine()
+    config = config if config is not None else PlanningConfig()
+    criteria = tuple(criteria)
+    cells = [
+        Cell(
+            _curve_cell,
+            (adl, list(routine.step_ids), seed, episodes, criteria, config,
+             cache_dir),
+            label=f"curve.{adl.name}[{seed}]",
+        )
+        for seed in seeds
+    ]
+
+    def merge(runs: List[CurveRun]) -> LearningCurveResult:
+        return LearningCurveResult(
+            adl_name=adl.name, criteria=criteria, runs=list(runs)
+        )
+
+    return Section(f"fig4.curve.{adl.name}", cells, merge)
+
+
 def run_learning_curve(
     adl: ADL,
     routine: Optional[Routine] = None,
@@ -122,23 +187,19 @@ def run_learning_curve(
     seeds: Sequence[int] = tuple(range(10)),
     criteria: Sequence[float] = (0.95, 0.98),
     config: Optional[PlanningConfig] = None,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> LearningCurveResult:
     """Regenerate Figure 4 for one ADL over a seed set."""
-    if routine is None:
-        routine = adl.canonical_routine()
-    config = config if config is not None else PlanningConfig()
-    runs: List[CurveRun] = []
-    for seed in seeds:
-        # Derive the stream from (seed, ADL name): two ADLs with the
-        # same chain length must not produce bit-identical curves.
-        rng = np.random.default_rng(derive_seed(seed, f"curve.{adl.name}"))
-        trainer = RoutineTrainer(adl, config, rng=rng)
-        result = trainer.train(
-            [list(routine.step_ids)] * episodes,
+    return run_section(
+        plan_learning_curve(
+            adl,
             routine=routine,
+            episodes=episodes,
+            seeds=seeds,
             criteria=criteria,
-        )
-        runs.append(
-            CurveRun(seed=seed, convergence=result.convergence, curve=result.curve)
-        )
-    return LearningCurveResult(adl_name=adl.name, criteria=criteria, runs=runs)
+            config=config,
+            cache_dir=cache_dir,
+        ),
+        jobs=jobs,
+    )

@@ -1,0 +1,142 @@
+"""Deterministic parallel fan-out for the experiment harness.
+
+Every sweep in ``repro.evalx`` decomposes into *cells*: pure,
+picklable units of work (one trained seed, one detector rule, one
+radio loss rate, ...).  A :class:`Section` is an ordered list of
+cells plus a merge function that folds the cell results back into the
+report text.  The executor fans the cells of all sections out over a
+``ProcessPoolExecutor`` and merges results **in submission order**,
+so the parallel report is byte-identical to the serial one: each cell
+derives its randomness only from its arguments (explicit seeds, never
+shared generators), and the merge order never depends on completion
+order.
+
+``--jobs 1`` (the default) runs every cell inline in the parent
+process -- the parallel path and the serial path execute the same
+cell functions, which is what makes byte-equality testable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.random import derive_seed
+
+__all__ = [
+    "Cell",
+    "Section",
+    "cell_seed",
+    "run_cells",
+    "run_section",
+    "run_sections",
+]
+
+
+def cell_seed(sweep_name: str, cell_index: int, base_seed: int) -> int:
+    """Derive the seed for cell ``cell_index`` of ``sweep_name``.
+
+    SHA-256 based (via :func:`repro.sim.random.derive_seed`), so the
+    mapping is stable across processes and Python versions; two cells
+    of the same sweep, or the same index in two sweeps, never share a
+    stream.
+    """
+    return derive_seed(base_seed, f"{sweep_name}[{cell_index}]")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One pure unit of experiment work.
+
+    ``fn`` must be a module-level callable and every argument must be
+    picklable: a cell may execute in a worker process.  A cell must
+    not read mutable global state -- its result is a function of its
+    arguments only.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+@dataclass
+class Section:
+    """An ordered group of cells plus the fold back into a result."""
+
+    name: str
+    cells: List[Cell]
+    merge: Callable[[List[Any]], Any]
+
+
+def _timed_cell(cell: Cell) -> Tuple[Any, float]:
+    """Worker entry point: run one cell, returning (result, seconds)."""
+    start = time.perf_counter()
+    result = cell.run()
+    return result, time.perf_counter() - start
+
+
+def run_cells(
+    cells: Sequence[Cell], jobs: int = 1
+) -> Tuple[List[Any], List[float]]:
+    """Run ``cells``; return their results *in submission order*.
+
+    ``jobs <= 1`` runs inline; otherwise a process pool of ``jobs``
+    workers executes the cells concurrently.  Either way the returned
+    lists are ordered like ``cells``, which is the determinism
+    contract every merge function relies on.
+    """
+    if jobs <= 1 or len(cells) <= 1:
+        results: List[Any] = []
+        seconds: List[float] = []
+        for cell in cells:
+            result, elapsed = _timed_cell(cell)
+            results.append(result)
+            seconds.append(elapsed)
+        return results, seconds
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        futures = [pool.submit(_timed_cell, cell) for cell in cells]
+        pairs = [future.result() for future in futures]
+    return [pair[0] for pair in pairs], [pair[1] for pair in pairs]
+
+
+def run_section(section: Section, jobs: int = 1) -> Any:
+    """Run one section start to finish; returns its merged result."""
+    results, _ = run_cells(section.cells, jobs=jobs)
+    return section.merge(results)
+
+
+def run_sections(
+    sections: Sequence[Section],
+    jobs: int = 1,
+    timings: Optional[Dict[str, float]] = None,
+) -> List[Any]:
+    """Run many sections over one shared pool of ``jobs`` workers.
+
+    The cells of *all* sections are flattened into one task list, so
+    a wide section cannot starve a narrow one; merges still happen
+    per section, in section order.  ``timings``, when given, is
+    filled with the summed cell seconds per section name (CPU cost,
+    not wall-clock -- cells of different sections overlap).
+    """
+    flat: List[Cell] = []
+    spans: List[Tuple[int, int]] = []
+    for section in sections:
+        start = len(flat)
+        flat.extend(section.cells)
+        spans.append((start, len(flat)))
+    results, seconds = run_cells(flat, jobs=jobs)
+    merged: List[Any] = []
+    for section, (start, stop) in zip(sections, spans):
+        merge_start = time.perf_counter()
+        merged.append(section.merge(results[start:stop]))
+        if timings is not None:
+            timings[section.name] = sum(seconds[start:stop]) + (
+                time.perf_counter() - merge_start
+            )
+    return merged

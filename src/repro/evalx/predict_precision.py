@@ -25,9 +25,15 @@ from repro.core.config import CoReDAConfig
 from repro.core.events import TriggerReason
 from repro.core.metrics import proportion
 from repro.core.system import CoReDA
+from repro.evalx.parallel import Cell, Section, run_section
 from repro.evalx.tables import format_table
 
-__all__ = ["PredictRow", "PredictPrecisionResult", "run_predict_precision"]
+__all__ = [
+    "PredictRow",
+    "PredictPrecisionResult",
+    "run_predict_precision",
+    "plan_predict_precision",
+]
 
 #: Spacing between injected step events, seconds (well under any
 #: stall timeout).
@@ -86,13 +92,13 @@ class PredictPrecisionResult:
         )
 
 
-def run_predict_precision(
+def plan_predict_precision(
     definitions: Sequence[ADLDefinition],
     samples_per_adl: int = 30,
     config: Optional[CoReDAConfig] = None,
     training_episodes: int = 120,
-) -> PredictPrecisionResult:
-    """Regenerate Table 4 over ``definitions``.
+) -> Section:
+    """Table 4 as a section of one cell per ADL.
 
     The probes use a fixed stall timeout and a long idle window: the
     injected step stream is paced artificially (3 s between steps, a
@@ -109,12 +115,38 @@ def run_predict_precision(
         ),
         sensing=replace(config.sensing, idle_timeout=600.0),
     )
-    rows: List[PredictRow] = []
-    for definition in definitions:
-        rows.extend(
-            _evaluate_adl(definition, samples_per_adl, config, training_episodes)
+    cells = [
+        Cell(
+            _evaluate_adl,
+            (definition, samples_per_adl, config, training_episodes),
+            label=f"predict.{definition.adl.name}",
         )
-    return PredictPrecisionResult(rows=rows)
+        for definition in definitions
+    ]
+
+    def merge(per_adl: List[List[PredictRow]]) -> PredictPrecisionResult:
+        rows: List[PredictRow] = []
+        for adl_rows in per_adl:
+            rows.extend(adl_rows)
+        return PredictPrecisionResult(rows=rows)
+
+    return Section("table4.predict", cells, merge)
+
+
+def run_predict_precision(
+    definitions: Sequence[ADLDefinition],
+    samples_per_adl: int = 30,
+    config: Optional[CoReDAConfig] = None,
+    training_episodes: int = 120,
+    jobs: int = 1,
+) -> PredictPrecisionResult:
+    """Regenerate Table 4 over ``definitions``."""
+    return run_section(
+        plan_predict_precision(
+            definitions, samples_per_adl, config, training_episodes
+        ),
+        jobs=jobs,
+    )
 
 
 def _evaluate_adl(

@@ -3,113 +3,290 @@
 ``python -m repro.evalx.runner`` prints every table and figure
 (Tables 1-4, Figures 1 and 4) plus the ablations, and can write the
 whole report to a file -- EXPERIMENTS.md is generated this way.
+
+The report is assembled from :class:`~repro.evalx.parallel.Section`
+plans: every sweep decomposes into pure (seed, config) cells, so
+``--jobs N`` fans the whole workload out over N worker processes and
+merges a report that is **byte-identical** to the serial one.
+``--cache DIR`` adds a content-addressed store of trained policies
+(see :mod:`repro.planning.store`): re-runs, and sweeps that train the
+same (ADL, routine, hyper-parameters, seed) cell, skip retraining.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional, TextIO
 
 from repro.adls.library import default_registry
 from repro.evalx.ablations import (
-    adaptation_speed,
-    detector_sweep,
-    dyna_sweep,
-    escalation_ablation,
-    lambda_sweep,
-    multi_routine_comparison,
-    radio_sweep,
-    sarsa_comparison,
-    wrong_reward_sweep,
+    plan_adaptation_speed,
+    plan_detector_sweep,
+    plan_dyna_sweep,
+    plan_escalation_ablation,
+    plan_lambda_sweep,
+    plan_multi_routine_comparison,
+    plan_radio_sweep,
+    plan_sarsa_comparison,
+    plan_wrong_reward_sweep,
 )
-from repro.evalx.baseline_compare import run_baseline_comparison
-from repro.evalx.burden import run_burden_study
-from repro.evalx.extract_precision import run_extract_precision
+from repro.evalx.baseline_compare import plan_baseline_comparison
+from repro.evalx.burden import plan_burden_study
+from repro.evalx.extract_precision import plan_extract_precision
 from repro.evalx.hardware_table import table1_hardware, table2_sensor_map
-from repro.evalx.learning_curve import run_learning_curve
-from repro.evalx.predict_precision import run_predict_precision
+from repro.evalx.learning_curve import plan_learning_curve
+from repro.evalx.parallel import Cell, Section, run_sections
+from repro.evalx.predict_precision import plan_predict_precision
 from repro.evalx.scenario import run_tea_scenario
-from repro.evalx.sensitivity import alpha_sweep, epsilon_sweep
+from repro.evalx.sensitivity import plan_alpha_sweep, plan_epsilon_sweep
 
-__all__ = ["run_all"]
+__all__ = ["run_all", "build_sections", "write_report"]
 
 
-def run_all(fast: bool = False, include_ablations: bool = True) -> str:
-    """Run every experiment; returns the full report text.
+def _blocks(section: Section, render) -> Section:
+    """Wrap ``section`` so its merge yields the report blocks."""
+    inner = section.merge
+    return Section(
+        section.name, section.cells, lambda results: render(inner(results))
+    )
 
-    ``fast`` trims sample counts and seed sets (used by smoke tests);
-    the defaults match the paper's sample sizes.
+
+def _scenario_blocks(results) -> List[str]:
+    scenario = results[0]
+    return [
+        scenario.to_table(),
+        f"Scenario structure check: "
+        f"{'PASS' if scenario.structure_ok() else 'FAIL'}",
+    ]
+
+
+def build_sections(
+    fast: bool = False,
+    include_ablations: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[Section]:
+    """The full report as an ordered list of section plans.
+
+    Every section's merge returns the list of report blocks it
+    contributes; the blocks, joined in section order, are the report.
     """
     registry = default_registry()
     paper_adls = [registry.get("tooth-brushing"), registry.get("tea-making")]
+    tea_definition = registry.get("tea-making")
+    tea = tea_definition.adl
     samples = 10 if fast else 40
     seeds = tuple(range(3)) if fast else tuple(range(10))
-    sections: List[str] = []
+    sections: List[Section] = []
 
-    sections.append(table1_hardware())
-    sections.append(table2_sensor_map(paper_adls))
-
-    extract = run_extract_precision(paper_adls, samples_per_step=samples)
-    sections.append(extract.to_table())
-
-    for definition in paper_adls:
-        curve = run_learning_curve(definition.adl, seeds=seeds)
-        sections.append(curve.to_table())
-        sections.append(curve.representative_plot())
-
-    predict = run_predict_precision(
-        paper_adls, samples_per_adl=12 if fast else 30
-    )
-    sections.append(predict.to_table())
-
-    scenario = run_tea_scenario()
-    sections.append(scenario.to_table())
     sections.append(
-        f"Scenario structure check: {'PASS' if scenario.structure_ok() else 'FAIL'}"
+        Section("table1.hardware", [Cell(table1_hardware, label="table1")],
+                lambda results: [results[0]])
     )
-
-    tea = registry.get("tea-making").adl
-    baseline = run_baseline_comparison(
-        tea, n_users=5 if fast else 20, episodes=40 if fast else 120
+    sections.append(
+        Section(
+            "table2.sensors",
+            [Cell(table2_sensor_map, (paper_adls,), label="table2")],
+            lambda results: [results[0]],
+        )
     )
-    sections.append(baseline.to_table())
-
-    burden = run_burden_study(
-        registry.get("tea-making"), episodes=4 if fast else 10
+    sections.append(
+        _blocks(
+            plan_extract_precision(paper_adls, samples_per_step=samples),
+            lambda result: [result.to_table()],
+        )
     )
-    sections.append(burden.to_table())
+    for definition in paper_adls:
+        sections.append(
+            _blocks(
+                plan_learning_curve(
+                    definition.adl, seeds=seeds, cache_dir=cache_dir
+                ),
+                lambda curve: [curve.to_table(), curve.representative_plot()],
+            )
+        )
+    sections.append(
+        _blocks(
+            plan_predict_precision(
+                paper_adls, samples_per_adl=12 if fast else 30
+            ),
+            lambda result: [result.to_table()],
+        )
+    )
+    sections.append(
+        Section(
+            "fig1.scenario",
+            [Cell(run_tea_scenario, label="scenario")],
+            _scenario_blocks,
+        )
+    )
+    sections.append(
+        _blocks(
+            plan_baseline_comparison(
+                tea,
+                n_users=5 if fast else 20,
+                episodes=40 if fast else 120,
+                cache_dir=cache_dir,
+            ),
+            lambda result: [result.to_table()],
+        )
+    )
+    sections.append(
+        _blocks(
+            plan_burden_study(tea_definition, episodes=4 if fast else 10),
+            lambda result: [result.to_table()],
+        )
+    )
 
     if include_ablations:
         ablation_seeds = tuple(range(2)) if fast else tuple(range(8))
-        sections.append(lambda_sweep(tea, seeds=ablation_seeds))
-        sections.append(wrong_reward_sweep(tea, seeds=ablation_seeds[:3] or (0,)))
-        sections.append(detector_sweep(trials=60 if fast else 300))
-        sections.append(dyna_sweep(tea, seeds=ablation_seeds))
+        one_block = lambda table: [table]  # noqa: E731 - tiny adapter
         sections.append(
-            radio_sweep(
-                registry.get("tea-making"),
-                samples_per_step=8 if fast else 25,
-            )
-        )
-        sections.append(sarsa_comparison(tea, seeds=ablation_seeds))
-        sections.append(alpha_sweep(tea, seeds=ablation_seeds))
-        sections.append(epsilon_sweep(tea, seeds=ablation_seeds))
-        sections.append(
-            multi_routine_comparison(
-                episodes_per_routine=20 if fast else 60
+            _blocks(
+                plan_lambda_sweep(
+                    tea, seeds=ablation_seeds, cache_dir=cache_dir
+                ),
+                one_block,
             )
         )
         sections.append(
-            adaptation_speed(tea, seeds=ablation_seeds[:3] or (0,))
+            _blocks(
+                plan_wrong_reward_sweep(
+                    tea, seeds=ablation_seeds[:3] or (0,), cache_dir=cache_dir
+                ),
+                one_block,
+            )
         )
         sections.append(
-            escalation_ablation(
-                registry.get("tea-making"), episodes=3 if fast else 8
+            _blocks(plan_detector_sweep(trials=60 if fast else 300), one_block)
+        )
+        sections.append(
+            _blocks(
+                plan_dyna_sweep(
+                    tea, seeds=ablation_seeds, cache_dir=cache_dir
+                ),
+                one_block,
+            )
+        )
+        sections.append(
+            _blocks(
+                plan_radio_sweep(
+                    tea_definition, samples_per_step=8 if fast else 25
+                ),
+                one_block,
+            )
+        )
+        sections.append(
+            _blocks(
+                plan_sarsa_comparison(
+                    tea, seeds=ablation_seeds, cache_dir=cache_dir
+                ),
+                one_block,
+            )
+        )
+        sections.append(
+            _blocks(
+                plan_alpha_sweep(
+                    tea, seeds=ablation_seeds, cache_dir=cache_dir
+                ),
+                one_block,
+            )
+        )
+        sections.append(
+            _blocks(
+                plan_epsilon_sweep(
+                    tea, seeds=ablation_seeds, cache_dir=cache_dir
+                ),
+                one_block,
+            )
+        )
+        sections.append(
+            _blocks(
+                plan_multi_routine_comparison(
+                    episodes_per_routine=20 if fast else 60
+                ),
+                one_block,
+            )
+        )
+        sections.append(
+            _blocks(
+                plan_adaptation_speed(tea, seeds=ablation_seeds[:3] or (0,)),
+                one_block,
+            )
+        )
+        sections.append(
+            _blocks(
+                plan_escalation_ablation(
+                    tea_definition, episodes=3 if fast else 8
+                ),
+                one_block,
             )
         )
 
-    return "\n\n".join(sections) + "\n"
+    return sections
+
+
+def run_all(
+    fast: bool = False,
+    include_ablations: bool = True,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    timings: Optional[Dict[str, float]] = None,
+) -> str:
+    """Run every experiment; returns the full report text.
+
+    ``fast`` trims sample counts and seed sets (used by smoke tests);
+    the defaults match the paper's sample sizes.  ``jobs`` > 1 fans
+    the section cells out over worker processes; the report text is
+    byte-identical for every ``jobs`` value.  ``timings``, when
+    given, is filled with per-section cell seconds.
+    """
+    sections = build_sections(
+        fast=fast, include_ablations=include_ablations, cache_dir=cache_dir
+    )
+    merged = run_sections(sections, jobs=jobs, timings=timings)
+    blocks: List[str] = []
+    for section_blocks in merged:
+        blocks.extend(section_blocks)
+    return "\n\n".join(blocks) + "\n"
+
+
+def write_report(
+    report: str,
+    output: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Print ``report`` and optionally persist it.
+
+    The file is always written UTF-8 so the report's non-ASCII
+    characters survive non-UTF-8 locales; both the CLI ``repro
+    report`` and this module's ``main`` share this path.
+    """
+    (stream if stream is not None else sys.stdout).write(report)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+
+
+def check_cache_dir(parser: argparse.ArgumentParser, cache: str) -> None:
+    """Exit with a readable error when ``--cache`` cannot be a directory."""
+    if os.path.exists(cache) and not os.path.isdir(cache):
+        parser.error(f"--cache: {cache!r} exists and is not a directory")
+
+
+def print_timings(
+    timings: Dict[str, float], total_seconds: float, stream: TextIO
+) -> None:
+    """Per-section timing table (stderr by default: never in the report)."""
+    width = max(len(name) for name in timings) if timings else 0
+    stream.write("section timings (cell seconds):\n")
+    for name, seconds in timings.items():
+        stream.write(f"  {name:<{width}}  {seconds:8.2f}s\n")
+    stream.write(
+        f"  {'total wall-clock':<{width}}  {total_seconds:8.2f}s\n"
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -120,13 +297,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-ablations", action="store_true", help="skip the ablation sweeps"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial; output is "
+        "byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR",
+        help="content-addressed trained-policy cache directory",
+    )
+    parser.add_argument(
+        "--timing", action="store_true",
+        help="print per-section timings to stderr",
+    )
     parser.add_argument("--output", help="also write the report to this file")
     args = parser.parse_args(argv)
-    report = run_all(fast=args.fast, include_ablations=not args.no_ablations)
-    sys.stdout.write(report)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(report)
+    if args.cache:
+        check_cache_dir(parser, args.cache)
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    report = run_all(
+        fast=args.fast,
+        include_ablations=not args.no_ablations,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        timings=timings,
+    )
+    elapsed = time.perf_counter() - start
+    write_report(report, output=args.output)
+    if args.timing:
+        print_timings(timings, elapsed, sys.stderr)
     return 0
 
 

@@ -20,6 +20,25 @@ class TestParser:
         assert args.seed == 0
         assert args.routine is None
 
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.fast is False
+        assert args.no_ablations is False
+        assert args.jobs == 1
+        assert args.cache is None
+        assert args.timing is False
+
+    def test_report_accepts_runner_flags(self):
+        args = build_parser().parse_args(
+            ["report", "--fast", "--no-ablations", "--jobs", "4",
+             "--cache", "/tmp/cache", "--timing"]
+        )
+        assert args.fast is True
+        assert args.no_ablations is True
+        assert args.jobs == 4
+        assert args.cache == "/tmp/cache"
+        assert args.timing is True
+
 
 class TestListAdls:
     def test_lists_all_five(self, capsys):
@@ -61,6 +80,22 @@ class TestTrain:
         with pytest.raises(UnknownADLError):
             main(["train", "cooking"])
 
+    def test_routine_with_non_integer_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["train", "tea-making", "--routine", "1,x,3"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "'x' is not a StepID" in err
+        assert "Traceback" not in err
+
+    def test_routine_with_unknown_step_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["train", "tea-making", "--routine", "1,99,3"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no step 99 in tea-making" in err
+        assert "StepIDs: 1, 2, 3, 4" in err
+
 
 class TestSimulate:
     def test_simulate_prints_report(self, capsys):
@@ -75,6 +110,19 @@ class TestSimulate:
         assert main(
             ["simulate", "tea-making", "--episodes", "1", "--adapt"]
         ) == 0
+
+
+class TestReport:
+    def test_no_ablations_skips_sweeps_and_writes_utf8(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(
+            ["report", "--fast", "--no-ablations", "--output", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "sweep" not in out
+        assert "ablation" not in out
+        assert path.read_bytes().decode("utf-8") == out
 
 
 class TestScenario:

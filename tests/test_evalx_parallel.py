@@ -1,0 +1,126 @@
+"""The deterministic parallel substrate: same bytes at every --jobs.
+
+The acceptance gate for the whole evalx refactor is byte-identity:
+``run_all`` (and every section underneath it) must produce the same
+report text serial, parallel, and cached.  These tests pin that down
+at three levels -- the cell pool, one real section, and the full fast
+report.
+"""
+
+from repro.evalx.learning_curve import plan_learning_curve
+from repro.evalx.parallel import (
+    Cell,
+    Section,
+    cell_seed,
+    run_cells,
+    run_section,
+    run_sections,
+)
+from repro.evalx.runner import run_all, write_report
+
+
+def _square(value):
+    return value * value
+
+
+def _pair(left, right):
+    return (left, right)
+
+
+class TestCellSeed:
+    def test_deterministic(self):
+        assert cell_seed("sweep", 3, 0) == cell_seed("sweep", 3, 0)
+
+    def test_distinct_across_cells(self):
+        seeds = {cell_seed("sweep", index, 0) for index in range(50)}
+        assert len(seeds) == 50
+
+    def test_distinct_across_sweeps(self):
+        assert cell_seed("alpha", 0, 0) != cell_seed("epsilon", 0, 0)
+
+    def test_distinct_across_base_seeds(self):
+        assert cell_seed("sweep", 0, 0) != cell_seed("sweep", 0, 1)
+
+
+class TestRunCells:
+    def test_results_in_submission_order(self):
+        cells = [Cell(_square, (n,)) for n in range(8)]
+        results, _ = run_cells(cells)
+        assert results == [n * n for n in range(8)]
+
+    def test_parallel_matches_serial(self):
+        cells = [Cell(_square, (n,)) for n in range(8)]
+        serial, _ = run_cells(cells, jobs=1)
+        parallel, _ = run_cells(cells, jobs=2)
+        assert parallel == serial
+
+    def test_kwargs_pass_through(self):
+        results, _ = run_cells([Cell(_pair, (1,), {"right": 2})])
+        assert results == [(1, 2)]
+
+    def test_per_cell_timing_is_nonnegative(self):
+        cells = [Cell(_square, (n,)) for n in range(3)]
+        _, seconds = run_cells(cells)
+        assert len(seconds) == len(cells)
+        assert all(elapsed >= 0.0 for elapsed in seconds)
+
+
+class TestRunSections:
+    def test_merge_sees_section_cells_only(self):
+        sections = [
+            Section("a", [Cell(_square, (n,)) for n in (1, 2)], list),
+            Section("b", [Cell(_square, (n,)) for n in (3,)], list),
+        ]
+        assert run_sections(sections) == [[1, 4], [9]]
+
+    def test_timings_filled_per_section(self):
+        timings = {}
+        run_sections(
+            [Section("only", [Cell(_square, (2,))], list)], timings=timings
+        )
+        assert set(timings) == {"only"}
+        assert timings["only"] >= 0.0
+
+
+class TestSectionDeterminism:
+    def test_learning_curve_section_parallel_identical(self, tea_adl):
+        section = plan_learning_curve(tea_adl, seeds=(0, 1), episodes=40)
+        serial = run_section(section, jobs=1)
+        parallel = run_section(section, jobs=2)
+        assert parallel.to_table() == serial.to_table()
+        assert parallel.representative_plot() == serial.representative_plot()
+
+
+class TestRunAllDeterminism:
+    def test_fast_report_byte_identical_across_jobs(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        serial = run_all(fast=True, include_ablations=False)
+        parallel = run_all(fast=True, include_ablations=False, jobs=2)
+        cached_cold = run_all(
+            fast=True, include_ablations=False, cache_dir=cache
+        )
+        cached_warm = run_all(
+            fast=True, include_ablations=False, jobs=2, cache_dir=cache
+        )
+        assert parallel == serial
+        assert cached_cold == serial
+        assert cached_warm == serial
+
+    def test_report_ends_with_single_newline(self):
+        report = run_all(fast=True, include_ablations=False)
+        assert report.endswith("\n")
+        assert not report.endswith("\n\n")
+
+
+class TestWriteReport:
+    def test_writes_utf8_regardless_of_locale(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        text = "Caregiver report — café\n"
+        write_report(text, output=str(path))
+        assert capsys.readouterr().out == text
+        assert path.read_bytes() == text.encode("utf-8")
+
+    def test_no_output_file_without_path(self, tmp_path, capsys):
+        write_report("hello\n")
+        assert capsys.readouterr().out == "hello\n"
+        assert list(tmp_path.iterdir()) == []

@@ -6,10 +6,18 @@ import numpy as np
 import pytest
 
 from repro.adls.tooth_brushing import make_tooth_brushing
+from repro.core.config import PlanningConfig
 from repro.core.errors import CoReDAError
 from repro.planning.predictor import NextStepPredictor
 from repro.planning.state import episode_states
-from repro.planning.store import FORMAT_VERSION, load_predictor, save_predictor
+from repro.planning.store import (
+    FORMAT_VERSION,
+    PolicyCache,
+    load_predictor,
+    save_predictor,
+    train_routine_cached,
+    training_cache_key,
+)
 from repro.planning.trainer import RoutineTrainer
 
 
@@ -72,3 +80,83 @@ class TestValidation:
         path.write_text(json.dumps(document))
         with pytest.raises(CoReDAError):
             load_predictor(path, tea_adl)
+
+
+class TestTrainingCacheKey:
+    def test_stable_across_calls(self, tea_adl):
+        config = PlanningConfig()
+        first = training_cache_key(tea_adl.name, (1, 2, 3, 4), config, 0, 120)
+        second = training_cache_key(tea_adl.name, [1, 2, 3, 4], config, 0, 120)
+        assert first == second
+
+    def test_every_component_matters(self, tea_adl):
+        config = PlanningConfig()
+        base = training_cache_key(tea_adl.name, (1, 2, 3, 4), config, 0, 120)
+        assert base != training_cache_key("other", (1, 2, 3, 4), config, 0, 120)
+        assert base != training_cache_key(
+            tea_adl.name, (1, 3, 2, 4), config, 0, 120
+        )
+        assert base != training_cache_key(
+            tea_adl.name, (1, 2, 3, 4), PlanningConfig(learning_rate=0.3),
+            0, 120,
+        )
+        assert base != training_cache_key(
+            tea_adl.name, (1, 2, 3, 4), config, 1, 120
+        )
+        assert base != training_cache_key(
+            tea_adl.name, (1, 2, 3, 4), config, 0, 121
+        )
+        assert base != training_cache_key(
+            tea_adl.name, (1, 2, 3, 4), config, 0, 120,
+            learner=("dyna-q", 5),
+        )
+
+
+class TestPolicyCache:
+    def test_miss_then_hit(self, tmp_path, tea_adl):
+        cache = PolicyCache(tmp_path / "cache")
+        config = PlanningConfig()
+        ids = list(tea_adl.canonical_routine().step_ids)
+        cold = train_routine_cached(tea_adl, ids, config, 0, 60, cache=cache)
+        warm = train_routine_cached(tea_adl, ids, config, 0, 60, cache=cache)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_hit_reproduces_miss_exactly(self, tmp_path, tea_adl):
+        cache = PolicyCache(tmp_path / "cache")
+        config = PlanningConfig()
+        ids = list(tea_adl.canonical_routine().step_ids)
+        cold = train_routine_cached(tea_adl, ids, config, 3, 60, cache=cache)
+        warm = train_routine_cached(tea_adl, ids, config, 3, 60, cache=cache)
+        assert warm.curve.behaviour_accuracy == cold.curve.behaviour_accuracy
+        assert warm.curve.greedy_accuracy == cold.curve.greedy_accuracy
+        assert warm.convergence == cold.convergence
+        states = episode_states(ids)
+        cold_predictor = cold.predictor(tea_adl)
+        warm_predictor = warm.predictor(tea_adl)
+        for index in range(len(states) - 1):
+            assert warm_predictor.predict(states[index]) == cold_predictor.predict(
+                states[index]
+            )
+
+    def test_different_seeds_are_different_entries(self, tmp_path, tea_adl):
+        cache = PolicyCache(tmp_path / "cache")
+        config = PlanningConfig()
+        ids = list(tea_adl.canonical_routine().step_ids)
+        train_routine_cached(tea_adl, ids, config, 0, 60, cache=cache)
+        train_routine_cached(tea_adl, ids, config, 1, 60, cache=cache)
+        assert len(cache) == 2
+        assert cache.hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, tea_adl):
+        cache = PolicyCache(tmp_path / "cache")
+        config = PlanningConfig()
+        ids = list(tea_adl.canonical_routine().step_ids)
+        train_routine_cached(tea_adl, ids, config, 0, 60, cache=cache)
+        key = training_cache_key(tea_adl.name, ids, config, 0, 60)
+        cache.path_for(key).write_text("not json")
+        again = train_routine_cached(tea_adl, ids, config, 0, 60, cache=cache)
+        assert not again.cache_hit
