@@ -13,6 +13,17 @@ import pytest
 from repro.adls.library import default_registry
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    Tier-1 collection never reaches here (``testpaths = ["tests"]``);
+    the marker lets CI select or skip the perf suite explicitly with
+    ``pytest benchmarks/ -m bench`` / ``-m "not bench"``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def registry():
     return default_registry()

@@ -22,7 +22,7 @@ from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.adls.tea_making import KETTLE, POT, TEABOX, TEACUP, tea_making_definition
-from repro.core.config import CoReDAConfig, RemindingConfig
+from repro.core.config import CoReDAConfig, RemindingConfig, SensingConfig
 from repro.core.events import TriggerReason
 from repro.core.system import CoReDA
 from repro.evalx.tables import format_table
@@ -87,8 +87,16 @@ class ScenarioResult:
         )
 
 
-def run_tea_scenario(seed: int = 11) -> ScenarioResult:
-    """Run the Figure 1 scenario and reconstruct its timeline."""
+def run_tea_scenario(
+    seed: int = 11, sensing: Optional[SensingConfig] = None
+) -> ScenarioResult:
+    """Run the Figure 1 scenario and reconstruct its timeline.
+
+    ``sensing`` overrides the sensing configuration; the fast-path
+    equivalence smoke test replays this scenario with
+    ``batch_samples=1`` vs the default block size and asserts
+    identical trace streams.
+    """
     definition = tea_making_definition()
     base = CoReDAConfig(seed=seed)
     # Figure 1 uses the fixed 30 s "did nothing" rule; the idle
@@ -101,6 +109,8 @@ def run_tea_scenario(seed: int = 11) -> ScenarioResult:
             statistical_timeout=False, stall_timeout=60.0, user_title="Mr. Tanaka"
         ),
     )
+    if sensing is not None:
+        config = replace(config, sensing=sensing)
     system = CoReDA.build(definition, config)
     system.train_offline(episodes=120)
     resident = system.create_resident(

@@ -9,14 +9,28 @@ The detector keeps a sliding window of the last ``n`` boolean
 exceedances; when at least ``k`` are set it declares usage.  A
 refractory period then suppresses re-detections so one physical
 handling produces one usage report.
+
+The window population is tracked as a running counter (updated on
+append/evict) rather than summed on every sample, and
+:meth:`observe_block` processes a whole pre-drawn sample block in one
+call -- both feed the node firmware's block-sampling fast path (see
+``docs/architecture.md``), which also relies on
+:meth:`snapshot`/:meth:`restore` to roll the detector back when a
+mid-block regime change invalidates part of a block.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, List, Tuple
+
+import numpy as np
 
 __all__ = ["KofNDetector"]
+
+#: Opaque detector state: (window, window sum, refractory, detections,
+#: samples seen, threshold).
+DetectorState = Tuple[Tuple[bool, ...], int, int, int, int, float]
 
 
 class KofNDetector:
@@ -44,6 +58,7 @@ class KofNDetector:
         self.n = n
         self.refractory_samples = refractory_samples
         self._window: Deque[bool] = deque(maxlen=n)
+        self._window_sum = 0
         self._refractory_left = 0
         self.detections = 0
         self.samples_seen = 0
@@ -54,33 +69,125 @@ class KofNDetector:
         if self._refractory_left > 0:
             self._refractory_left -= 1
             return False
-        self._window.append(sample > self.threshold)
-        if sum(self._window) >= self.k:
-            self._window.clear()
+        window = self._window
+        if len(window) == self.n:
+            self._window_sum -= window[0]
+        flag = sample > self.threshold
+        window.append(flag)
+        if flag:
+            self._window_sum += 1
+        if self._window_sum >= self.k:
+            window.clear()
+            self._window_sum = 0
             self._refractory_left = self.refractory_samples
             self.detections += 1
             return True
         return False
 
+    def observe_block(self, samples) -> List[int]:
+        """Process a whole sample block; return the detecting indices.
+
+        Exactly equivalent to calling :meth:`observe` on each sample
+        in order (the fast-path equivalence tests pin this down); the
+        thresholding is vectorised and the window logic runs over
+        plain bools.
+        """
+        exceed = np.asarray(samples, dtype=float) > self.threshold
+        window = self._window
+        n = self.n
+        if not np.count_nonzero(exceed):
+            # Dominant case while the tool is idle: nothing exceeds,
+            # so nothing can detect (the standing window sum is < k by
+            # invariant and only decreases under all-False appends).
+            m = int(exceed.shape[0])
+            self.samples_seen += m
+            refractory_left = self._refractory_left
+            if refractory_left:
+                if refractory_left >= m:
+                    self._refractory_left = refractory_left - m
+                    return []
+                self._refractory_left = 0
+                m -= refractory_left
+            if self._window_sum == 0:
+                window.extend([False] * m)
+            elif m >= n:
+                window.clear()
+                window.extend([False] * n)
+                self._window_sum = 0
+            else:
+                window_sum = self._window_sum
+                for _ in range(m):
+                    if len(window) == n and window[0]:
+                        window_sum -= 1
+                    window.append(False)
+                self._window_sum = window_sum
+            return []
+        flags = exceed.tolist()
+        hits: List[int] = []
+        k = self.k
+        window_sum = self._window_sum
+        refractory_left = self._refractory_left
+        for index, flag in enumerate(flags):
+            if refractory_left > 0:
+                refractory_left -= 1
+                continue
+            if len(window) == n:
+                window_sum -= window[0]
+            window.append(flag)
+            if flag:
+                window_sum += 1
+            if window_sum >= k:
+                window.clear()
+                window_sum = 0
+                refractory_left = self.refractory_samples
+                self.detections += 1
+                hits.append(index)
+        self.samples_seen += len(flags)
+        self._window_sum = window_sum
+        self._refractory_left = refractory_left
+        return hits
+
     def observe_trace(self, samples) -> int:
         """Feed a whole trace; return the number of detections."""
-        hits = 0
-        for sample in samples:
-            if self.observe(float(sample)):
-                hits += 1
-        return hits
+        return len(self.observe_block(samples))
+
+    def snapshot(self) -> DetectorState:
+        """Capture full detector state for later :meth:`restore`."""
+        return (
+            tuple(self._window),
+            self._window_sum,
+            self._refractory_left,
+            self.detections,
+            self.samples_seen,
+            self.threshold,
+        )
+
+    def restore(self, state: DetectorState) -> None:
+        """Roll back to a state captured by :meth:`snapshot`."""
+        window, window_sum, refractory_left, detections, seen, threshold = state
+        self._window.clear()
+        self._window.extend(window)
+        self._window_sum = window_sum
+        self._refractory_left = refractory_left
+        self.detections = detections
+        self.samples_seen = seen
+        self.threshold = threshold
 
     def reset(self) -> None:
         """Clear window, refractory state and counters."""
         self._window.clear()
+        self._window_sum = 0
         self._refractory_left = 0
         self.detections = 0
         self.samples_seen = 0
 
     @property
     def exceedances_in_window(self) -> int:
-        """Current number of above-threshold samples in the window."""
-        return sum(self._window)
+        """Current number of above-threshold samples in the window.
+
+        O(1): maintained as a running counter by the observe paths.
+        """
+        return self._window_sum
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

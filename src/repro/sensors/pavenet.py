@@ -6,20 +6,41 @@ other ADLs" -- only the uid differs): a 10 Hz sampling loop feeds the
 3-of-10 detector, and each detection is logged to EEPROM and uplinked
 as a ``usage`` frame carrying the node uid.  Downlink ``led`` frames
 blink the requested LED.
+
+Two firmware implementations coexist, selected by
+``SensingConfig.batch_samples``:
+
+* ``batch_samples=1`` (or a battery-powered node): the reference
+  per-sample loop -- one kernel event, one RNG read and one detector
+  step per sample.
+* ``batch_samples>1`` (the default): the **block fast path** -- one
+  kernel event per block of samples, drawn vectorised from the
+  :class:`~repro.sensors.signals.SignalSource` and fed to the detector
+  in one call, with usage reports scheduled at their exact per-sample
+  timestamps.  When the resident flips the signal regime mid-block,
+  the node rolls the source/detector back to the block start, replays
+  the committed prefix, and resumes sampling from the first
+  uncommitted timestamp -- so the event stream is byte-identical to
+  the reference loop (see ``docs/architecture.md``).
+
+Battery-powered nodes always use the reference loop: the battery
+drains per sample *interleaved* with transmit drains, an ordering a
+pre-drawn block cannot reproduce.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.adl import Tool
 from repro.core.config import SensingConfig
 from repro.sensors.agc import ThresholdController
 from repro.sensors.battery import Battery, PowerProfile
 from repro.sensors.clock import RealTimeClock
-from repro.sensors.detector import KofNDetector
+from repro.sensors.detector import DetectorState, KofNDetector
 from repro.sensors.eeprom import EepromLog, EepromRecord
 from repro.sensors.hardware import LED_COLORS, PAVENET_SPEC, HardwareSpec
 from repro.sensors.radio import (
@@ -28,8 +49,8 @@ from repro.sensors.radio import (
     Frame,
     RadioMedium,
 )
-from repro.sensors.signals import SignalSource
-from repro.sim.kernel import Simulator
+from repro.sensors.signals import SignalSource, SourceState
+from repro.sim.kernel import Event, Simulator
 from repro.sim.process import Process, Timeout
 from repro.sim.tracing import TraceRecorder
 
@@ -55,17 +76,19 @@ class Led:
     def __init__(self, color: str) -> None:
         self.color = color
         self.history: List[BlinkRecord] = []
+        self._total_blinks = 0
 
     def blink(self, time: float, count: int) -> None:
         """Execute a blink command of ``count`` flashes."""
         if count <= 0:
             raise ValueError("blink count must be positive")
         self.history.append(BlinkRecord(time=time, blinks=count))
+        self._total_blinks += count
 
     @property
     def total_blinks(self) -> int:
-        """Total flashes executed since boot."""
-        return sum(record.blinks for record in self.history)
+        """Total flashes executed since boot (O(1) running counter)."""
+        return self._total_blinks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Led({self.color!r}, commands={len(self.history)})"
@@ -124,29 +147,62 @@ class PavenetNode:
         #: a ThresholdController self-calibrates against the noise
         #: floor while the node runs.
         self.agc = agc
+        # Block fast path state (see module docstring).
+        self._hz = config.sampling_hz
+        self._period = 1.0 / config.sampling_hz
+        self._batch = config.batch_samples
+        self._block_running = False
+        self._block_event: Optional[Event] = None
+        self._block_t0: Optional[float] = None
+        self._block_n = 0
+        self._block_last = 0.0
+        self._block_source_state: Optional[SourceState] = None
+        self._block_detector_state: Optional[DetectorState] = None
+        self._block_agc_state: Optional[Tuple[float, int]] = None
+        self._block_pending: List[Event] = []
+        source.subscribe_regime(self._on_regime_change)
         radio.attach(self.uid, self._on_frame)
 
     def start(self) -> None:
         """Boot the firmware: begin the 10 Hz sampling loop."""
-        if self._loop is not None and not self._loop.done:
+        if self.running:
             return
-        self._loop = Process(
-            self.sim, self._firmware_loop(), name=f"node{self.uid}.firmware"
-        )
+        if self.battery is not None or self._batch <= 1:
+            self._loop = Process(
+                self.sim, self._firmware_loop(), name=f"node{self.uid}.firmware"
+            )
+            return
+        self._block_running = True
+        self._block_event = self.sim.schedule(0.0, self._process_block)
 
     def stop(self) -> None:
         """Power the node down (sampling stops, radio stays attached)."""
         if self._loop is not None:
             self._loop.interrupt()
             self._loop = None
+        if self._block_running:
+            self._block_running = False
+            if self._block_event is not None:
+                self._block_event.cancel()
+                self._block_event = None
+            now = self.sim.now
+            for event in self._block_pending:
+                if event.time > now:
+                    event.cancel()
+            self._block_pending = []
+            self._block_t0 = None
 
     @property
     def running(self) -> bool:
-        """True while the firmware loop is alive."""
+        """True while the firmware (loop or block sampler) is alive."""
+        if self._block_running:
+            return True
         return self._loop is not None and not self._loop.done
 
+    # ----- reference per-sample firmware -------------------------------
+
     def _firmware_loop(self):
-        period = 1.0 / self.config.sampling_hz
+        period = self._period
         while True:
             if not self._drain(
                 self.power_profile.sample_cost_mj
@@ -162,6 +218,147 @@ class PavenetNode:
             if self.detector.observe(sample):
                 self._report_usage()
             yield Timeout(period)
+
+    # ----- block fast path ---------------------------------------------
+
+    def _block_sample_times(self, start: float, n: int) -> List[float]:
+        """Sample timestamps of a block, accumulated by repeated float
+        addition exactly like the reference loop's ``Timeout(period)``
+        clock.  Deterministic, so the list is rebuilt on demand (hits
+        and invalidations are rare) instead of per block.
+        """
+        times: List[float] = []
+        append = times.append
+        t = start
+        period = self._period
+        for _ in range(n):
+            append(t)
+            t += period
+        return times
+
+    def _truncated_length(self, start: float) -> int:
+        """The next block's sample count, truncated at a known regime
+        expiry so a block never spans one.
+
+        A count of 0 never occurs: when ``start`` is already past the
+        expiry the full block runs (the source expires itself at the
+        first read, so the regime is constant anyway).
+        """
+        n = self._batch
+        source = self.source
+        if source.active:
+            until = source.active_until
+            if until != float("inf"):
+                count = 0
+                t = start
+                period = self._period
+                while count < n and t < until:
+                    count += 1
+                    t += period
+                if 0 < count < n:
+                    return count
+        return n
+
+    def _process_block(self) -> None:
+        sim = self.sim
+        source = self.source
+        t0 = sim.now
+        n = self._truncated_length(t0)
+        # Snapshot everything a mid-block regime change would need to
+        # roll back: RNG + regime, detector window, AGC noise tracker.
+        self._block_source_state = source.capture()
+        self._block_detector_state = self.detector.snapshot()
+        if self.agc is not None:
+            tracker = self.agc.tracker
+            self._block_agc_state = (tracker.estimate, tracker.observations)
+        values = source.read_block(t0, n, self._hz)
+        if self.agc is None:
+            hits = self.detector.observe_block(values)
+        else:
+            hits = self._detect(values)
+        period = self._period
+        self._block_pending = pending = []
+        if hits:
+            times = self._block_sample_times(t0, n)
+            for index in hits:
+                if index == 0:
+                    self._report_usage()
+                else:
+                    pending.append(
+                        sim.schedule_at(times[index], self._report_usage)
+                    )
+            last = times[-1]
+        else:
+            last = t0
+            for _ in range(n - 1):
+                last += period
+        self._block_t0 = t0
+        self._block_n = n
+        self._block_last = last
+        self._block_event = sim.schedule_at(last + period, self._process_block)
+
+    def _detect(self, values) -> Sequence[int]:
+        """Run the detector over a value block; return detecting indices."""
+        if self.agc is None:
+            return self.detector.observe_block(values)
+        hits: List[int] = []
+        detector = self.detector
+        agc = self.agc
+        for index, value in enumerate(values):
+            sample = float(value)
+            detector.threshold = agc.observe(sample)
+            if detector.observe(sample):
+                hits.append(index)
+        return hits
+
+    def _on_regime_change(self) -> None:
+        """Invalidate the pre-drawn block tail after ``begin_use``/``end_use``.
+
+        Samples at ``t <= now`` are *committed* -- the reference loop
+        would have read them before the regime change, and their draws
+        and any usage reports already happened with identical bytes.
+        Samples at ``t > now`` were drawn from the wrong regime: roll
+        the source and detector back to the block start, replay the
+        committed prefix (restoring the exact RNG position and window
+        state), re-apply the new regime, and resume block sampling at
+        the first uncommitted timestamp.
+        """
+        t0 = self._block_t0
+        if not self._block_running or t0 is None:
+            return
+        sim = self.sim
+        now = sim.now
+        if now >= self._block_last:
+            return  # every sample in this block is already committed
+        times = self._block_sample_times(t0, self._block_n)
+        j = bisect_right(times, now)
+        # Usage reports drawn from the stale tail must not fire.
+        kept: List[Event] = []
+        for event in self._block_pending:
+            if event.time > now:
+                event.cancel()
+            else:
+                kept.append(event)
+        self._block_pending = kept
+        if self._block_event is not None:
+            self._block_event.cancel()
+        source = self.source
+        post_active = source.active
+        post_until = source.active_until
+        source.restore(self._block_source_state)
+        self.detector.restore(self._block_detector_state)
+        if self.agc is not None and self._block_agc_state is not None:
+            tracker = self.agc.tracker
+            tracker.estimate, tracker.observations = self._block_agc_state
+        if j:
+            # Replay for state only: the committed hits already fired
+            # (or sit in ``kept``), so the indices are discarded.
+            self._detect(source.read_block_at(times[:j]))
+        source.set_regime(post_active, post_until)
+        self._block_t0 = None
+        self._block_event = sim.schedule_at(times[j], self._process_block)
+
+    # ----- shared machinery --------------------------------------------
 
     def _drain(self, amount_mj: float) -> bool:
         if self.battery is None:

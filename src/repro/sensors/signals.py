@@ -14,15 +14,37 @@ burst exceeding the detection threshold with probability
 baseline noise.  A short use yields few samples, so the 3-of-10 rule
 sometimes never sees three bursts in one window -- exactly why the
 paper measured "Dry with a towel" at 85% and "Pour hot water" at 80%.
+
+Two read paths exist and are draw-for-draw identical:
+
+* :meth:`SignalSource.read` -- one scalar sample (the reference
+  per-sample firmware loop);
+* :meth:`SignalSource.read_block` / :meth:`SignalSource.read_block_at`
+  -- a whole block at once, with idle stretches drawn as one
+  vectorised ``normal`` call.  The draw *sequence* is preserved
+  exactly (one uniform then one normal per active sample, one normal
+  per inactive sample), so a block read leaves the generator in the
+  same state as the equivalent scalar reads and produces the same
+  bytes.
+
+A monotonically increasing :attr:`SignalSource.epoch` is bumped on
+every regime transition, and regime listeners (the node firmware's
+block fast path) are notified on every *external* ``begin_use`` /
+``end_use`` so they can invalidate and resynchronise samples they
+pre-drew past the change (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, List, Tuple
 
 import numpy as np
 
 __all__ = ["SignalProfile", "SignalSource"]
+
+#: Opaque source state: (bit-generator state, active, active-until).
+SourceState = Tuple[Any, bool, float]
 
 
 @dataclass(frozen=True)
@@ -63,37 +85,182 @@ class SignalSource:
         self._rng = rng
         self._active = False
         self._active_until: float = float("inf")
+        #: Monotonic regime-transition counter; compare before/after
+        #: to detect that pre-drawn samples may be stale.
+        self.epoch = 0
+        self._regime_listeners: List[Callable[[], None]] = []
 
     @property
     def active(self) -> bool:
         """True while the tool is being handled."""
         return self._active
 
+    @property
+    def active_until(self) -> float:
+        """Simulated time the active regime auto-expires (inf = never)."""
+        return self._active_until
+
+    def subscribe_regime(self, callback: Callable[[], None]) -> Callable[[], None]:
+        """Call ``callback`` after every external regime change.
+
+        Fires on public :meth:`begin_use` / :meth:`end_use` only --
+        *not* on the automatic duration expiry a read performs itself,
+        which the reader by construction already observes.  Returns an
+        unsubscribe function.
+        """
+        self._regime_listeners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._regime_listeners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
     def begin_use(self, now: float = 0.0, duration: float = float("inf")) -> None:
         """Enter the active regime (optionally for ``duration`` seconds)."""
         self._active = True
         self._active_until = now + duration
+        self.epoch += 1
+        self._notify_regime()
 
     def end_use(self) -> None:
         """Return to the baseline regime."""
+        self._expire()
+        self._notify_regime()
+
+    def _expire(self) -> None:
+        """Regime flip to baseline without notifying listeners."""
         self._active = False
         self._active_until = float("inf")
+        self.epoch += 1
+
+    def _notify_regime(self) -> None:
+        for callback in list(self._regime_listeners):
+            callback()
 
     def read(self, now: float) -> float:
         """Sample the signal magnitude at simulated time ``now``."""
         if self._active and now >= self._active_until:
-            self.end_use()
+            self._expire()
         if self._active and self._rng.random() < self.profile.burst_probability:
             burst = self._rng.normal(self.profile.burst_mean, self.profile.burst_sd)
             return float(max(burst, 0.0))
         return float(abs(self._rng.normal(0.0, self.profile.noise_sd)))
+
+    def read_block_at(self, times) -> np.ndarray:
+        """Sample at each of ``times`` (non-decreasing), vectorised.
+
+        Exactly equivalent to ``[self.read(t) for t in times]`` --
+        same values, same generator state afterwards, same automatic
+        expiry of a finite ``begin_use`` duration -- but idle
+        stretches are drawn with one vectorised ``normal`` call.
+        """
+        rng = self._rng
+        profile = self.profile
+        if not self._active:
+            # Dominant case: an entirely idle block never consults the
+            # timestamps at all, so skip the bookkeeping below.
+            out = rng.normal(0.0, profile.noise_sd, len(times))
+            return np.abs(out, out=out)
+        times = np.asarray(times, dtype=float)
+        n = times.shape[0]
+        out = np.empty(n)
+        pos = 0
+        while pos < n:
+            if self._active:
+                until = self._active_until
+                if until == float("inf"):
+                    m = n - pos
+                else:
+                    # Samples at t >= until belong to the expired regime.
+                    m = int(np.searchsorted(times[pos:], until, side="left"))
+                    if m == 0:
+                        self._expire()
+                        continue
+                # The scalar draw sequence per active sample is one
+                # uniform then one normal; numpy's ziggurat normals
+                # consume a data-dependent number of generator words,
+                # so this interleaving cannot be split into two array
+                # draws without changing the stream.
+                p = profile.burst_probability
+                burst_mean = profile.burst_mean
+                burst_sd = profile.burst_sd
+                noise_sd = profile.noise_sd
+                random = rng.random
+                normal = rng.normal
+                for i in range(pos, pos + m):
+                    if random() < p:
+                        burst = normal(burst_mean, burst_sd)
+                        out[i] = burst if burst > 0.0 else 0.0
+                    else:
+                        out[i] = abs(normal(0.0, noise_sd))
+                pos += m
+                if pos < n:
+                    self._expire()
+            else:
+                # One normal per inactive sample: an array draw is
+                # bit-identical to the same number of scalar draws.
+                out[pos:] = np.abs(rng.normal(0.0, profile.noise_sd, n - pos))
+                pos = n
+        return out
+
+    def read_block(self, now: float, n: int, hz: float) -> np.ndarray:
+        """Sample ``n`` readings at ``hz`` starting at ``now``.
+
+        Sample times accumulate by repeated float addition of the
+        period -- matching the kernel clock of a firmware loop that
+        sleeps one period per sample -- so regime-expiry comparisons
+        land on exactly the timestamps the scalar loop would see.
+        """
+        if not self._active:
+            # Idle blocks never consult the timestamps; skip building
+            # them (this is the hot path of an idle node).
+            out = self._rng.normal(0.0, self.profile.noise_sd, n)
+            return np.abs(out, out=out)
+        period = 1.0 / hz
+        times = np.empty(n)
+        t = now
+        for i in range(n):
+            times[i] = t
+            t += period
+        return self.read_block_at(times)
+
+    def capture(self) -> SourceState:
+        """Snapshot (generator state, regime) for :meth:`restore`."""
+        return (self._rng.bit_generator.state, self._active, self._active_until)
+
+    def restore(self, state: SourceState) -> None:
+        """Roll generator and regime back to a :meth:`capture` point.
+
+        Used by the block fast path to replay the committed prefix of
+        an invalidated block; does not touch :attr:`epoch` (which is
+        monotonic) and does not notify regime listeners.
+        """
+        rng_state, active, active_until = state
+        self._rng.bit_generator.state = rng_state
+        self._active = active
+        self._active_until = active_until
+
+    def set_regime(self, active: bool, active_until: float) -> None:
+        """Force the regime without draws or notifications.
+
+        Fast-path internal: after a resynchronising replay the node
+        re-applies the externally-changed regime on top of the
+        restored generator position.
+        """
+        self._active = active
+        self._active_until = active_until
 
     def read_trace(self, start: float, n_samples: int, hz: float) -> np.ndarray:
         """Sample ``n_samples`` readings at ``hz`` starting at ``start``.
 
         Convenience for offline experiments (the Table 3 harness feeds
         pre-sampled traces straight into a detector without running
-        the full event kernel).
+        the full event kernel).  Times sit on the exact
+        ``start + k/hz`` grid (as the original scalar implementation's
+        ``np.arange`` did) and the draws match it draw-for-draw.
         """
         times = start + np.arange(n_samples) / hz
-        return np.array([self.read(t) for t in times])
+        return self.read_block_at(times)

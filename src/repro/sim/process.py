@@ -74,7 +74,11 @@ class Process:
         self._interrupted = False
         self._pending_event: Optional[Event] = None
         self._pending_unsubscribe: Optional[Callable[[], None]] = None
-        sim.schedule(delay, lambda: self._advance(None))
+        # One callback object reused for every Timeout resume: the
+        # periodic firmware loops schedule one of these per sample, so
+        # a fresh lambda per dispatch is pure allocator churn.
+        self._timeout_resume = self._resume_from_timeout
+        sim.schedule(delay, self._timeout_resume)
 
     def interrupt(self) -> None:
         """Stop the process: its generator is closed, ``done`` set.
@@ -98,6 +102,9 @@ class Process:
         self.result = result
         self.finished.fire(result)
 
+    def _resume_from_timeout(self) -> None:
+        self._advance(None)
+
     def _advance(self, value: Any) -> None:
         if self.done:
             return
@@ -111,7 +118,7 @@ class Process:
     def _dispatch(self, directive: Directive) -> None:
         if isinstance(directive, Timeout):
             self._pending_event = self.sim.schedule(
-                directive.delay, lambda: self._advance(None)
+                directive.delay, self._timeout_resume
             )
             return
         if isinstance(directive, Wait):

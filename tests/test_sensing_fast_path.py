@@ -1,0 +1,195 @@
+"""Equivalence smoke tests: block fast path vs reference loop.
+
+The block-sampling fast path (``SensingConfig.batch_samples > 1``)
+must be *byte-identical* to the per-sample reference loop -- same
+trace events at the same times, same frames, same EEPROM contents --
+for any resident behaviour, including regime changes that land in the
+middle of a pre-drawn block.  These tests replay identical worlds
+under both firmwares and compare the full observable streams.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.adl import SensorType, Tool
+from repro.core.config import CoReDAConfig, RadioConfig, SensingConfig
+from repro.evalx.scenario import run_tea_scenario
+from repro.sensors.pavenet import PavenetNode
+from repro.sensors.radio import BASE_STATION_UID, RadioMedium
+from repro.sensors.signals import SignalProfile, SignalSource
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import TraceRecorder
+
+
+def build_node(batch_samples):
+    """One complete node world with a deterministic seed."""
+    sim = Simulator()
+    trace = TraceRecorder()
+    radio = RadioMedium(
+        sim, RadioConfig(loss_probability=0.05), np.random.default_rng(0)
+    )
+    source = SignalSource(
+        SignalProfile(burst_probability=0.7), np.random.default_rng(1)
+    )
+    node = PavenetNode(
+        sim=sim,
+        tool=Tool(7, "cup", SensorType.ACCELEROMETER),
+        source=source,
+        radio=radio,
+        config=SensingConfig(batch_samples=batch_samples),
+        trace=trace,
+    )
+    received = []
+    radio.attach(
+        BASE_STATION_UID,
+        lambda frame: received.append(
+            (sim.now, frame.src_uid, frame.kind, frame.sequence)
+        ),
+    )
+    return sim, node, source, trace, received
+
+
+def run_script(batch_samples, script):
+    """Run one node under ``script``: (time, action, kwargs) tuples."""
+    sim, node, source, trace, received = build_node(batch_samples)
+    node.start()
+    for time, action, kwargs in script:
+        if action == "begin":
+            sim.schedule_at(
+                time, (lambda t=time, kw=kwargs: source.begin_use(t, **kw))
+            )
+        elif action == "end":
+            sim.schedule_at(time, source.end_use)
+        elif action == "stop":
+            sim.schedule_at(time, node.stop)
+    sim.run_until(20.0)
+    return {
+        "trace": trace.entries(),
+        "received": received,
+        "eeprom": node.eeprom.records(),
+        "reports": node.usage_reports,
+        "seen": None,  # samples_seen intentionally excluded: the block
+        # sampler legitimately pre-draws ahead of the clock
+    }
+
+
+def assert_streams_equal(script):
+    scalar = run_script(1, script)
+    batched = run_script(10, script)
+    assert batched["trace"] == scalar["trace"]
+    assert batched["received"] == scalar["received"]
+    assert batched["eeprom"] == scalar["eeprom"]
+    assert batched["reports"] == scalar["reports"]
+
+
+class TestNodeEquivalence:
+    def test_idle_node(self):
+        assert_streams_equal([])
+
+    def test_simple_use_with_finite_duration(self):
+        # Finite durations are known at block start: the block sampler
+        # truncates at the expiry, no invalidation needed.
+        assert_streams_equal([(0.0, "begin", {"duration": 5.0})])
+
+    def test_duration_expiring_mid_block(self):
+        # Expiry at t=1.23 falls inside the second 1 s block.
+        assert_streams_equal([(0.73, "begin", {"duration": 0.5})])
+
+    def test_end_use_invalidates_block_tail(self):
+        # end_use at an off-grid time mid-block: the pre-drawn active
+        # tail is stale and must be re-drawn as idle samples.
+        assert_streams_equal(
+            [(0.0, "begin", {}), (2.37, "end", {})]
+        )
+
+    def test_begin_use_invalidates_block_tail(self):
+        # begin_use mid-block: the pre-drawn idle tail becomes active.
+        assert_streams_equal(
+            [(1.62, "begin", {}), (6.91, "end", {})]
+        )
+
+    def test_rapid_regime_flapping(self):
+        # Multiple invalidations, some within the same block.
+        assert_streams_equal(
+            [
+                (0.31, "begin", {}),
+                (0.58, "end", {}),
+                (0.84, "begin", {"duration": 1.7}),
+                (3.05, "begin", {"duration": 4.0}),
+                (5.5, "end", {}),
+                (11.02, "begin", {}),
+                (11.96, "end", {}),
+            ]
+        )
+
+    def test_stop_mid_block_cancels_pending_reports(self):
+        assert_streams_equal(
+            [(0.0, "begin", {}), (3.14, "stop", {})]
+        )
+
+    def test_batch_sizes_beyond_default(self):
+        script = [(0.42, "begin", {"duration": 3.3}), (7.7, "begin", {}),
+                  (9.33, "end", {})]
+        scalar = run_script(1, script)
+        for batch in (2, 5, 25):
+            batched = run_script(batch, script)
+            assert batched["trace"] == scalar["trace"], f"batch={batch}"
+            assert batched["received"] == scalar["received"]
+
+
+class TestScenarioEquivalence:
+    """The tier-1 gate from the issue: one full Figure 1 scenario,
+    batch_samples=1 vs 10, identical trace event lists."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        scalar = run_tea_scenario(sensing=SensingConfig(batch_samples=1))
+        batched = run_tea_scenario(sensing=SensingConfig(batch_samples=10))
+        return scalar, batched
+
+    def test_identical_timelines(self, results):
+        scalar, batched = results
+        assert batched.timeline == scalar.timeline
+
+    def test_identical_anchors(self, results):
+        scalar, batched = results
+        for field in (
+            "completed",
+            "wrong_tool_prompt_time",
+            "first_praise_time",
+            "stall_prompt_time",
+            "second_praise_time",
+            "wrong_tool_methods",
+            "stall_methods",
+        ):
+            assert getattr(batched, field) == getattr(scalar, field), field
+
+    def test_default_config_uses_fast_path(self, results):
+        scalar, _ = results
+        default = run_tea_scenario()
+        assert SensingConfig().batch_samples > 1
+        assert default.timeline == scalar.timeline
+
+
+class TestExtractPrecisionEquivalence:
+    def test_table3_cell_identical(self):
+        from repro.adls.tea_making import tea_making_definition
+        from repro.evalx.extract_precision import run_extract_precision
+
+        definition = tea_making_definition()
+
+        def rows(batch):
+            config = replace(
+                CoReDAConfig(), sensing=SensingConfig(batch_samples=batch)
+            )
+            result = run_extract_precision(
+                [definition], samples_per_step=4, config=config, seed=0
+            )
+            return [
+                (row.step_name, row.detections, row.trials, row.precision)
+                for row in result.rows
+            ]
+
+        assert rows(10) == rows(1)

@@ -87,3 +87,102 @@ class TestValidation:
     def test_k_equals_one(self):
         det = detector(k=1)
         assert det.observe(2.0)
+
+
+class TestObserveBlock:
+    """observe_block must equal per-sample observe on any split."""
+
+    def samples(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        raw = rng.random(200) * 2.5  # mixes sub- and super-threshold
+        return raw.tolist()
+
+    def test_matches_scalar_observe(self):
+        samples = self.samples()
+        block = detector(refractory_samples=7)
+        scalar = detector(refractory_samples=7)
+        hits = block.observe_block(samples)
+        expected = [i for i, s in enumerate(samples) if scalar.observe(s)]
+        assert hits == expected
+        assert block.detections == scalar.detections
+        assert block.samples_seen == scalar.samples_seen
+        assert block.exceedances_in_window == scalar.exceedances_in_window
+
+    def test_matches_across_any_chunking(self):
+        samples = self.samples()
+        scalar = detector(refractory_samples=5)
+        expected = [i for i, s in enumerate(samples) if scalar.observe(s)]
+        for size in (1, 3, 10, 64):
+            det = detector(refractory_samples=5)
+            hits = []
+            for start in range(0, len(samples), size):
+                chunk = samples[start:start + size]
+                hits.extend(start + h for h in det.observe_block(chunk))
+            assert hits == expected, f"chunk size {size}"
+
+    def test_detection_exactly_at_block_boundary(self):
+        # Two exceedances at the end of block 1; the third arrives as
+        # the first sample of block 2 and must detect at index 0.
+        det = detector()
+        assert det.observe_block([0.0] * 8 + [2.0, 2.0]) == []
+        assert det.observe_block([2.0] + [0.0] * 9) == [0]
+
+    def test_refractory_spans_two_blocks(self):
+        det = detector(refractory_samples=15)
+        first = det.observe_block([2.0] * 10)
+        assert first == [2]  # k=3: third vigorous sample detects
+        # 7 refractory samples consumed after the detection in block
+        # 1; 8 remain, so block 2's first 8 samples are swallowed and
+        # the window only then refills: detection at 8 + 2 = index 10.
+        second = det.observe_block([2.0] * 12)
+        assert second == [10]
+
+    def test_empty_block(self):
+        det = detector()
+        assert det.observe_block([]) == []
+        assert det.samples_seen == 0
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_replays_identically(self):
+        det = detector(refractory_samples=6)
+        det.observe_block([2.0, 0.0, 2.0])
+        state = det.snapshot()
+        tail = [2.0, 2.0, 0.0, 2.0, 2.0, 2.0, 0.0]
+        first = det.observe_block(tail)
+        first_state = (det.detections, det.samples_seen,
+                       det.exceedances_in_window)
+        det.restore(state)
+        second = det.observe_block(tail)
+        assert second == first
+        assert (det.detections, det.samples_seen,
+                det.exceedances_in_window) == first_state
+
+    def test_restore_recovers_threshold(self):
+        det = detector()
+        state = det.snapshot()
+        det.threshold = 99.0
+        det.restore(state)
+        assert det.threshold == 1.0
+
+
+class TestRunningWindowCounter:
+    def test_counter_tracks_evictions(self):
+        det = detector(n=4, k=4)  # k=n so nothing detects here
+        for sample in [2.0, 2.0, 0.0, 2.0]:
+            det.observe(sample)
+        assert det.exceedances_in_window == 3
+        det.observe(0.0)  # evicts the first 2.0
+        assert det.exceedances_in_window == 2
+        det.observe(0.0)  # evicts the second 2.0
+        assert det.exceedances_in_window == 1
+
+    def test_counter_zero_after_detection_clears_window(self):
+        det = detector()
+        det.observe(2.0)
+        det.observe(2.0)
+        assert det.exceedances_in_window == 2
+        assert det.observe(2.0)
+        assert det.exceedances_in_window == 0

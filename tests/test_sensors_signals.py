@@ -87,3 +87,153 @@ class TestReadTrace:
         a = source(seed=5).read_trace(0.0, 20, 10.0)
         b = source(seed=5).read_trace(0.0, 20, 10.0)
         assert np.allclose(a, b)
+
+
+def twin_sources(profile=None, seed=0):
+    """Two sources with identical profile and RNG state."""
+    return source(profile, seed), source(profile, seed)
+
+
+class TestReadBlockEquivalence:
+    """read_block / read_block_at must match scalar read draw-for-draw."""
+
+    def rng_state(self, src):
+        return src._rng.bit_generator.state
+
+    def assert_equivalent(self, fast, ref, times):
+        expected = [ref.read(t) for t in times]
+        got = fast.read_block_at(times)
+        assert got.tolist() == expected  # exact, not allclose
+        assert self.rng_state(fast) == self.rng_state(ref)
+        assert fast.active == ref.active
+        assert fast.active_until == ref.active_until
+
+    def test_idle_block(self):
+        fast, ref = twin_sources()
+        self.assert_equivalent(fast, ref, [i * 0.1 for i in range(37)])
+
+    def test_active_infinite_block(self):
+        fast, ref = twin_sources(SignalProfile(burst_probability=0.6))
+        fast.begin_use(0.0)
+        ref.begin_use(0.0)
+        self.assert_equivalent(fast, ref, [i * 0.1 for i in range(50)])
+
+    def test_expiry_mid_block(self):
+        fast, ref = twin_sources(SignalProfile(burst_probability=0.6))
+        fast.begin_use(0.0, duration=1.25)
+        ref.begin_use(0.0, duration=1.25)
+        self.assert_equivalent(fast, ref, [i * 0.1 for i in range(40)])
+
+    def test_expiry_exactly_on_sample(self):
+        # active_until lands exactly on a sample time: that sample
+        # must already be idle (the boundary is exclusive).
+        fast, ref = twin_sources(SignalProfile(burst_probability=0.9))
+        fast.begin_use(0.0, duration=1.0)
+        ref.begin_use(0.0, duration=1.0)
+        self.assert_equivalent(fast, ref, [i * 0.25 for i in range(12)])
+
+    def test_block_already_past_expiry(self):
+        fast, ref = twin_sources(SignalProfile(burst_probability=0.9))
+        fast.begin_use(0.0, duration=0.5)
+        ref.begin_use(0.0, duration=0.5)
+        self.assert_equivalent(fast, ref, [2.0 + i * 0.1 for i in range(10)])
+
+    def test_accumulated_float_times(self):
+        # read_block builds times by repeated addition, like a
+        # firmware loop sleeping one period per sample; 0.1 * 3
+        # accumulated differs from 3/10 in the last bit, and the
+        # expiry comparison must see the accumulated value.
+        fast, ref = twin_sources(SignalProfile(burst_probability=0.9))
+        fast.begin_use(0.0, duration=0.30000000000000004)
+        ref.begin_use(0.0, duration=0.30000000000000004)
+        expected = []
+        t = 0.0
+        for _ in range(10):
+            expected.append(ref.read(t))
+            t += 0.1
+        got = fast.read_block(0.0, 10, 10.0)
+        assert got.tolist() == expected
+        assert self.rng_state(fast) == self.rng_state(ref)
+
+    def test_read_trace_matches_scalar_grid(self):
+        # read_trace keeps its historical start + k/hz grid times.
+        fast, ref = twin_sources(SignalProfile(burst_probability=0.5))
+        fast.begin_use(0.0, duration=2.0)
+        ref.begin_use(0.0, duration=2.0)
+        times = 0.0 + np.arange(60) / 10.0
+        expected = [ref.read(t) for t in times]
+        got = fast.read_trace(0.0, 60, 10.0)
+        assert got.tolist() == expected
+        assert self.rng_state(fast) == self.rng_state(ref)
+
+    def test_multiple_blocks_chain(self):
+        fast, ref = twin_sources(SignalProfile(burst_probability=0.6))
+        fast.begin_use(0.3, duration=1.5)
+        ref.begin_use(0.3, duration=1.5)
+        scalar = [ref.read(i * 0.1) for i in range(40)]
+        chained = []
+        for block in range(4):
+            ts = [(block * 10 + i) * 0.1 for i in range(10)]
+            chained.extend(fast.read_block_at(ts).tolist())
+        assert chained == scalar
+        assert self.rng_state(fast) == self.rng_state(ref)
+
+
+class TestRegimeEpoch:
+    def test_begin_and_end_bump_epoch(self):
+        src = source()
+        start = src.epoch
+        src.begin_use(0.0)
+        assert src.epoch == start + 1
+        src.end_use()
+        assert src.epoch == start + 2
+
+    def test_auto_expiry_bumps_epoch_without_notify(self):
+        src = source(SignalProfile(burst_probability=0.9))
+        calls = []
+        src.subscribe_regime(lambda: calls.append(src.epoch))
+        src.begin_use(0.0, duration=1.0)
+        assert len(calls) == 1
+        before = src.epoch
+        src.read(2.0)  # auto-expires inside the read
+        assert src.epoch == before + 1
+        assert len(calls) == 1  # no notification for self-observed expiry
+
+    def test_unsubscribe(self):
+        src = source()
+        calls = []
+        unsubscribe = src.subscribe_regime(lambda: calls.append(1))
+        src.begin_use(0.0)
+        unsubscribe()
+        src.end_use()
+        assert calls == [1]
+
+
+class TestCaptureRestore:
+    def test_restore_replays_identical_draws(self):
+        src = source(SignalProfile(burst_probability=0.6))
+        src.begin_use(0.0, duration=3.0)
+        state = src.capture()
+        first = src.read_block_at([i * 0.1 for i in range(40)])
+        src.restore(state)
+        second = src.read_block_at([i * 0.1 for i in range(40)])
+        assert first.tolist() == second.tolist()
+
+    def test_restore_recovers_regime(self):
+        src = source(SignalProfile(burst_probability=0.9))
+        src.begin_use(0.0, duration=1.0)
+        state = src.capture()
+        src.read(5.0)  # expires
+        assert not src.active
+        src.restore(state)
+        assert src.active
+        assert src.active_until == 1.0
+
+    def test_set_regime_does_not_notify(self):
+        src = source()
+        calls = []
+        src.subscribe_regime(lambda: calls.append(1))
+        src.set_regime(True, 7.0)
+        assert src.active
+        assert src.active_until == 7.0
+        assert calls == []

@@ -164,3 +164,62 @@ class TestSignal:
         signal.subscribe(first)
         signal.fire(None)
         assert seen == ["first"]
+
+
+class TestCancelledEventStress:
+    """run_until's fused loop must discard cancelled heap runs lazily."""
+
+    def test_dense_cancellations_fire_only_survivors(self, sim):
+        fired = []
+        events = [
+            sim.schedule_at(t * 0.01, (lambda i=i: fired.append(i)))
+            for i, t in enumerate(range(1000))
+        ]
+        # Cancel long alternating runs, including the heap head, so
+        # the loop must skip many consecutive cancelled entries.
+        for i, event in enumerate(events):
+            if i % 3 != 0 or 100 <= i < 400:
+                event.cancel()
+        survivors = [
+            i for i in range(1000) if i % 3 == 0 and not 100 <= i < 400
+        ]
+        count = sim.run_until(100.0)
+        assert fired == survivors
+        assert count == len(survivors)
+        assert sim.events_processed == len(survivors)
+
+    def test_cancel_during_run_until(self, sim):
+        fired = []
+        later = [
+            sim.schedule_at(2.0 + i * 0.1, (lambda i=i: fired.append(i)))
+            for i in range(50)
+        ]
+
+        def killer():
+            for event in later[::2]:
+                event.cancel()
+
+        sim.schedule_at(1.0, killer)
+        sim.run_until(10.0)
+        assert fired == list(range(1, 50, 2))
+
+    def test_horizon_boundary_with_cancelled_head(self, sim):
+        fired = []
+        head = sim.schedule_at(5.0, lambda: fired.append("head"))
+        sim.schedule_at(5.0, lambda: fired.append("tail"))
+        sim.schedule_at(6.0, lambda: fired.append("late"))
+        head.cancel()
+        assert sim.run_until(5.0) == 1
+        assert fired == ["tail"]
+        assert sim.now == 5.0
+        # The 6.0 event is untouched and fires on the next segment.
+        sim.run_until(6.0)
+        assert fired == ["tail", "late"]
+
+    def test_all_cancelled_advances_clock_only(self, sim):
+        events = [sim.schedule_at(float(i), lambda: None) for i in range(20)]
+        for event in events:
+            event.cancel()
+        assert sim.run_until(30.0) == 0
+        assert sim.now == 30.0
+        assert sim.peek() is None
