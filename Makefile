@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint test bench report
+
+lint:
+	$(PYTHON) -m repro lint src/repro
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro report

@@ -1,0 +1,321 @@
+"""Visitor core of the determinism / sim-safety static analyzer.
+
+The framework is deliberately small: a :class:`Rule` walks one parsed
+module (:class:`ModuleContext`) and yields :class:`Finding` s; a
+registry maps rule IDs to singleton rule instances; and the driver
+functions (:func:`lint_source`, :func:`lint_paths`) apply inline
+suppressions and fold everything into a :class:`LintReport`.
+
+Suppressions
+------------
+A finding is suppressed by a comment on the *reported line*::
+
+    start = time.perf_counter()  # repro: allow[DET002] timing display
+
+Multiple rule IDs may be listed, comma-separated:
+``# repro: allow[DET001,DET004] fixture``.  Anything after the
+closing bracket is free-form justification.  Suppressed findings are
+still collected (and shown in the JSON report) but do not fail the
+lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintUsageError",
+    "ModuleContext",
+    "Rule",
+    "UnknownRuleError",
+    "all_rule_ids",
+    "dotted_name",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "resolve_rules",
+]
+
+SUPPRESSION_PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+SEVERITIES = ("error", "warning")
+
+
+class LintUsageError(Exception):
+    """The analyzer was invoked incorrectly (bad path, bad source)."""
+
+
+class UnknownRuleError(LintUsageError):
+    """A rule ID was requested that no registered rule carries."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: str
+    message: str
+    suppressed: bool = False
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+
+class ModuleContext:
+    """One parsed module plus the lookups every rule needs.
+
+    The context owns the AST, the per-line suppression table and the
+    set of imported module names (used by scope-sensitive rules such
+    as DET003).  ``path`` is kept verbatim for reporting; rules match
+    policy against :attr:`posix_path`.
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = str(path)
+        self.posix_path = self.path.replace("\\", "/")
+        self.source = source
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise LintUsageError(f"{path}: cannot parse: {exc}") from exc
+        self.suppressions = _collect_suppressions(source)
+        self._imports: Optional[FrozenSet[str]] = None
+
+    @property
+    def imports(self) -> FrozenSet[str]:
+        """Dotted module names this module imports (top-level walk)."""
+        if self._imports is None:
+            names: Set[str] = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    names.update(alias.name for alias in node.names)
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    names.add(node.module)
+            self._imports = frozenset(names)
+        return self._imports
+
+    def imports_prefix(self, prefix: str) -> bool:
+        """True if any import is ``prefix`` or a submodule of it."""
+        return any(
+            name == prefix or name.startswith(prefix + ".")
+            for name in self.imports
+        )
+
+    def suppressed_rules(self, line: int) -> FrozenSet[str]:
+        """Rule IDs suppressed on ``line`` (empty set when none)."""
+        return frozenset(self.suppressions.get(line, ()))
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``check``."""
+
+    rule_id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """A :class:`Finding` of this rule anchored at ``node``."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Every finding of one lint run, suppressed ones included."""
+
+    findings: Tuple[Finding, ...]
+    files_checked: int
+
+    @property
+    def active(self) -> Tuple[Finding, ...]:
+        """Findings that fail the gate (not suppressed)."""
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    @property
+    def suppressed(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.suppressed)
+
+
+# --------------------------------------------------------------------
+# Registry
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(
+            f"{rule.rule_id}: severity must be one of {SEVERITIES}"
+        )
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def _load_rules() -> None:
+    # The rule modules register themselves on import; importing here
+    # (not at module top) keeps core free of circular imports.
+    from repro.analysis import rules  # noqa: F401
+
+
+def all_rule_ids() -> List[str]:
+    """Every registered rule ID, sorted."""
+    _load_rules()
+    return sorted(_REGISTRY)
+
+
+def resolve_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The rule instances for ``rule_ids`` (all rules when ``None``)."""
+    _load_rules()
+    if rule_ids is None:
+        return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+    unknown = sorted(set(rule_ids) - set(_REGISTRY))
+    if unknown:
+        raise UnknownRuleError(
+            f"unknown rule(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(_REGISTRY))})"
+        )
+    return [_REGISTRY[rule_id] for rule_id in sorted(set(rule_ids))]
+
+
+# --------------------------------------------------------------------
+# Drivers
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one module given as a string; returns sorted findings."""
+    module = ModuleContext(path, source)
+    findings: List[Finding] = []
+    for rule in resolve_rules(rule_ids):
+        for found in rule.check(module):
+            if found.rule in module.suppressed_rules(found.line):
+                found = replace(found, suppressed=True)
+            findings.append(found)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files and directories into a sorted, deduplicated list."""
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterator[Path] = iter(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            candidates = iter([path])
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories; returns the aggregate report."""
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for file in files:
+        findings.extend(
+            lint_source(file.read_text("utf-8"), str(file), rule_ids)
+        )
+    return LintReport(
+        findings=tuple(sorted(findings, key=Finding.sort_key)),
+        files_checked=len(files),
+    )
+
+
+# --------------------------------------------------------------------
+# Shared AST helpers
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _parse_ids(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule IDs allowed on that line."""
+    table: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESSION_PATTERN.search(token.string)
+            if match:
+                table.setdefault(token.start[0], set()).update(
+                    _parse_ids(match.group(1))
+                )
+    except tokenize.TokenError:  # pragma: no cover - defensive
+        for number, text in enumerate(source.splitlines(), 1):
+            match = SUPPRESSION_PATTERN.search(text)
+            if match:
+                table.setdefault(number, set()).update(
+                    _parse_ids(match.group(1))
+                )
+    return table

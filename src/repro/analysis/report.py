@@ -1,0 +1,70 @@
+"""Rendering lint results for humans (text) and machines (JSON).
+
+The JSON document is versioned and schema-stable so CI and editor
+integrations can consume it::
+
+    {
+      "version": 1,
+      "files_checked": 107,
+      "summary": {"findings": 0, "suppressed": 9},
+      "findings": [
+        {"path": "...", "line": 12, "column": 5, "rule": "DET001",
+         "severity": "error", "message": "..."}
+      ],
+      "suppressed": [ ...same shape... ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.core import Finding, LintReport
+
+__all__ = ["finding_to_dict", "render_json", "render_text", "report_to_dict"]
+
+JSON_VERSION = 1
+
+
+def finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "message": finding.message,
+    }
+
+
+def report_to_dict(report: LintReport) -> Dict[str, Any]:
+    return {
+        "version": JSON_VERSION,
+        "files_checked": report.files_checked,
+        "summary": {
+            "findings": len(report.active),
+            "suppressed": len(report.suppressed),
+        },
+        "findings": [finding_to_dict(f) for f in report.active],
+        "suppressed": [finding_to_dict(f) for f in report.suppressed],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_to_dict(report), indent=2)
+
+
+def render_text(report: LintReport) -> str:
+    lines: List[str] = []
+    for finding in report.active:
+        lines.append(
+            f"{finding.location}: {finding.rule} "
+            f"{finding.severity}: {finding.message}"
+        )
+    lines.append(
+        f"{len(report.active)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""The shipped rule pack; importing this package registers every rule.
+
+========== ========= ====================================================
+DET001     error     randomness only via ``repro.sim.random``
+DET002     error     no wall-clock reads outside ``benchmarks/``
+DET003     warning   no unordered iteration where events/randomness flow
+DET004     error     no float ``==``/``!=`` on simulation timestamps
+SIM001     error     process bodies yield only Timeout/Wait directives
+SIM002     warning   capture/snapshot methods pair with restore methods
+PERF001    warning   hot-path manifest classes declare ``__slots__``
+========== ========= ====================================================
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import = register)
+    determinism,
+    performance,
+    simulation,
+)
+
+__all__ = ["determinism", "performance", "simulation"]

@@ -1,0 +1,86 @@
+"""PERF001: hot-path classes must declare ``__slots__``.
+
+The simulation allocates one :class:`~repro.sim.kernel.Event` per
+scheduled callback and touches a detector and a signal source per
+10 Hz sample, so instance-dict allocation on these classes is
+measurable at experiment scale (the PR 2 benchmarks quantified it).
+The hot-path set lives in :data:`repro.analysis.manifest.HOT_PATH_CLASSES`;
+this rule also flags manifest drift (a listed class that no longer
+exists in its module), so renames cannot silently disable the check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable
+
+from repro.analysis import manifest
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+
+__all__ = ["MissingSlots"]
+
+
+@register
+class MissingSlots(Rule):
+    rule_id = "PERF001"
+    severity = "warning"
+    description = (
+        "classes in the hot-path manifest (repro.analysis.manifest."
+        "HOT_PATH_CLASSES) must declare __slots__ (directly or via "
+        "@dataclass(slots=True))"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for suffix, class_names in manifest.HOT_PATH_CLASSES:
+            if not module.posix_path.endswith(suffix):
+                continue
+            classes: Dict[str, ast.ClassDef] = {
+                node.name: node
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.ClassDef)
+            }
+            for name in class_names:
+                node = classes.get(name)
+                if node is None:
+                    yield Finding(
+                        path=module.path,
+                        line=1,
+                        column=1,
+                        rule=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"hot-path class {name} not found in module; "
+                            "update repro.analysis.manifest.HOT_PATH_CLASSES"
+                        ),
+                    )
+                elif not _declares_slots(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"hot-path class {name} must declare __slots__ "
+                        "(one instance per kernel event / per sample)",
+                    )
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "__slots__"
+            for target in stmt.targets
+        ):
+            return True
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__slots__"
+        ):
+            return True
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call) and any(
+            keyword.arg == "slots"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in decorator.keywords
+        ):
+            return True
+    return False

@@ -10,6 +10,7 @@ simulate   run live guided episodes against a simulated resident and
            print the caregiver report
 scenario   replay the paper's Figure 1 tea-making scenario
 report     regenerate every paper table/figure (evalx runner)
+lint       run the determinism / sim-safety static analyzer
 ========== ==========================================================
 """
 
@@ -83,6 +84,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--timing", action="store_true",
                         help="print per-section timings to stderr")
     report.add_argument("--output", help="also write the report to a file")
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically check sources against the determinism rules",
+        description="Run the repro.analysis rule pack (DET*/SIM*/PERF*) "
+        "over python sources.  Exit codes: 0 clean, 1 findings, 2 usage "
+        "error.",
+    )
+    lint.add_argument("paths", nargs="+", metavar="PATH",
+                      help="files or directories to analyze")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--rules", metavar="IDS",
+                      help="comma-separated rule IDs to run, e.g. "
+                      "DET001,DET002 (default: all)")
     return parser
 
 
@@ -218,7 +234,7 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     if args.cache:
         check_cache_dir(parser, args.cache)
     timings = {}
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET002] timing display only
     text = run_all(
         fast=args.fast,
         include_ablations=not args.no_ablations,
@@ -226,11 +242,35 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         cache_dir=args.cache,
         timings=timings,
     )
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro: allow[DET002] timing display only
     write_report(text, output=args.output)
     if args.timing:
         print_timings(timings, elapsed, sys.stderr)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.analysis import (
+        LintUsageError,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",")
+                    if part.strip()]
+        if not rule_ids:
+            parser.error("--rules: expected comma-separated rule IDs")
+    try:
+        report = lint_paths(args.paths, rule_ids)
+    except LintUsageError as exc:
+        parser.error(str(exc))
+    rendered = render_json(report) if args.format == "json" \
+        else render_text(report)
+    print(rendered)
+    return 1 if report.active else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -247,6 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario()
     if args.command == "report":
         return _cmd_report(args, parser)
+    if args.command == "lint":
+        return _cmd_lint(args, parser)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -89,8 +89,13 @@ class CareHome:
             ) from None
 
     def train_all(self, episodes: int = 120) -> None:
-        """Learn the (canonical) routine of every deployed ADL."""
-        for system in self.systems.values():
+        """Learn the (canonical) routine of every deployed ADL.
+
+        Training runs in deployment (insertion) order -- made explicit
+        with ``list`` per DET003.  Order cannot leak between systems
+        anyway: each forks its own stream family off the ADL name.
+        """
+        for system in list(self.systems.values()):
             system.train_offline(episodes=episodes)
 
     def run_day(
@@ -106,7 +111,8 @@ class CareHome:
         starts at its ``start_at`` mark or as soon as the previous
         activity finished, whichever is later.
         """
-        if any(system.training is None for system in self.systems.values()):
+        if any(system.training is None
+               for system in list(self.systems.values())):
             raise CoReDAError("train_all must run before a scheduled day")
         outcomes: List[Tuple[str, EpisodeOutcome]] = []
         for index, activity in enumerate(sorted(schedule, key=lambda a: a.start_at)):
@@ -141,7 +147,8 @@ class CareHome:
         deployment's bus and radio are private, so guidance streams
         cannot cross-talk -- which the concurrency tests assert.
         """
-        if any(system.training is None for system in self.systems.values()):
+        if any(system.training is None
+               for system in list(self.systems.values())):
             raise CoReDAError("train_all must run before concurrent episodes")
         processes = []
         for index, adl_name in enumerate(adl_names):

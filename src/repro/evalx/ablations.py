@@ -54,6 +54,7 @@ from repro.rl.sarsa import SarsaLambdaLearner
 from repro.rl.schedules import ExponentialDecay
 from repro.sensors.detector import KofNDetector
 from repro.sensors.signals import SignalProfile, SignalSource
+from repro.sim.random import seeded_generator
 
 __all__ = [
     "lambda_sweep",
@@ -138,7 +139,7 @@ def _detector_cell(
 ) -> Tuple[int, int]:
     """One k of the k-of-n rule: (handling hits, idle false triggers)."""
     hz = 10.0
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     source = SignalSource(profile, rng)
     hits = 0
     for _ in range(trials):
@@ -188,7 +189,7 @@ def _expected_sarsa_cell(adl: ADL, seed: int, episodes: int) -> float:
         initial_q=config.initial_q,
     )
     trainer = RoutineTrainer(
-        adl, config, learner=learner, rng=np.random.default_rng(seed)
+        adl, config, learner=learner, rng=seeded_generator(seed)
     )
     result = trainer.train(log, routine=routine)
     return result.curve.greedy_accuracy[-1]
@@ -199,7 +200,7 @@ def _sarsa_cell(adl: ADL, seed: int, episodes: int) -> float:
     routine = adl.canonical_routine()
     log = [list(routine.step_ids)] * episodes
     return _train_sarsa(
-        adl, PlanningConfig(), log, np.random.default_rng(seed)
+        adl, PlanningConfig(), log, seeded_generator(seed)
     )
 
 
@@ -214,14 +215,14 @@ def _adaptation_cell(
     ids = list(adl.step_ids)
     new_ids = [ids[0]] + ids[1:-1][::-1] + [ids[-1]]
     Routine(adl, new_ids)  # validates the permutation
-    trainer = RoutineTrainer(adl, rng=np.random.default_rng(seed))
+    trainer = RoutineTrainer(adl, rng=seeded_generator(seed))
     result = trainer.train(
         [list(adl.step_ids)] * 120, routine=adl.canonical_routine()
     )
     adaptation = OnlineAdaptation(
         adl,
         result.learner,
-        rng=np.random.default_rng(1000 + seed),
+        rng=seeded_generator(1000 + seed),
         epsilon=epsilon,
     )
     for episode in range(1, max_episodes + 1):
@@ -296,13 +297,13 @@ def _multi_routine_cell(
     log: List[List[int]] = []
     for routine in routines:
         log.extend([list(routine.step_ids)] * episodes_per_routine)
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     order = rng.permutation(len(log))
     mixed = [log[i] for i in order]
 
-    planner = MultiRoutinePlanner(adl, rng=np.random.default_rng(seed + 1))
+    planner = MultiRoutinePlanner(adl, rng=seeded_generator(seed + 1))
     planner.train(mixed)
-    single = RoutineTrainer(adl, rng=np.random.default_rng(seed + 2))
+    single = RoutineTrainer(adl, rng=seeded_generator(seed + 2))
     single_result = single.train(mixed, routine=routines[0])
 
     rows = []

@@ -36,6 +36,7 @@ from repro.evalx.tables import format_table
 from repro.planning.state import episode_states
 from repro.planning.store import PolicyCache, train_routine_cached
 from repro.resident.routines import personalized_routine, training_episodes
+from repro.sim.random import seeded_generator
 
 __all__ = [
     "BaselineRow",
@@ -165,7 +166,7 @@ def plan_baseline_comparison(
     independently.
     """
     config = config if config is not None else PlanningConfig()
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     routines = [
         personalized_routine(adl, rng, shuffle_probability=shuffle_probability)
         for _ in range(n_users)

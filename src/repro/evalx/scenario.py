@@ -29,7 +29,12 @@ from repro.evalx.tables import format_table
 from repro.resident.compliance import ComplianceModel
 from repro.resident.dementia import ErrorKind, ScriptedError
 
-__all__ = ["TimelineEvent", "ScenarioResult", "run_tea_scenario"]
+__all__ = [
+    "TimelineEvent",
+    "ScenarioResult",
+    "build_tea_scenario",
+    "run_tea_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -87,15 +92,15 @@ class ScenarioResult:
         )
 
 
-def run_tea_scenario(
+def build_tea_scenario(
     seed: int = 11, sensing: Optional[SensingConfig] = None
-) -> ScenarioResult:
-    """Run the Figure 1 scenario and reconstruct its timeline.
+):
+    """The trained Figure 1 world, ready to run: ``(system, resident)``.
 
-    ``sensing`` overrides the sensing configuration; the fast-path
-    equivalence smoke test replays this scenario with
-    ``batch_samples=1`` vs the default block size and asserts
-    identical trace streams.
+    Split out of :func:`run_tea_scenario` so harnesses that need the
+    raw observable streams (trace entries, base-station frames, node
+    EEPROMs) -- e.g. the PYTHONHASHSEED determinism sanitizer -- can
+    run the identical scenario and inspect the system afterwards.
     """
     definition = tea_making_definition()
     base = CoReDAConfig(seed=seed)
@@ -136,6 +141,20 @@ def run_tea_scenario(
         error_use_duration=6.0,
         name="tanaka",
     )
+    return system, resident
+
+
+def run_tea_scenario(
+    seed: int = 11, sensing: Optional[SensingConfig] = None
+) -> ScenarioResult:
+    """Run the Figure 1 scenario and reconstruct its timeline.
+
+    ``sensing`` overrides the sensing configuration; the fast-path
+    equivalence smoke test replays this scenario with
+    ``batch_samples=1`` vs the default block size and asserts
+    identical trace streams.
+    """
+    system, resident = build_tea_scenario(seed=seed, sensing=sensing)
     outcome = system.run_episode(resident, horizon=600.0)
     return _reconstruct(system, outcome.completed)
 

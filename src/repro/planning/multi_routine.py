@@ -26,6 +26,7 @@ from repro.planning.action import PromptAction
 from repro.planning.predictor import NextStepPredictor
 from repro.planning.state import PlanningState
 from repro.planning.trainer import RoutineTrainer, TrainingResult
+from repro.sim.random import seeded_generator
 
 __all__ = ["RoutineCluster", "MultiRoutinePlanner"]
 
@@ -58,7 +59,7 @@ class MultiRoutinePlanner:
             raise ValueError("min_support_fraction must be in [0, 1)")
         self.adl = adl
         self.config = config if config is not None else PlanningConfig()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else seeded_generator(0)
         self.min_support_fraction = min_support_fraction
         self.clusters: List[RoutineCluster] = []
 

@@ -35,6 +35,7 @@ from repro.planning.rewards_coreda import CoReDAReward
 from repro.planning.state import episode_states
 from repro.planning.trainer import replay_episode
 from repro.rl.policies import EpsilonGreedyPolicy
+from repro.sim.random import seeded_generator
 
 __all__ = ["OnlineAdaptation"]
 
@@ -64,7 +65,7 @@ class OnlineAdaptation:
         self.adl = adl
         self.learner = learner
         self.config = config if config is not None else PlanningConfig()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else seeded_generator(0)
         self.actions: List[PromptAction] = action_space(adl)
         learner.policy = EpsilonGreedyPolicy(epsilon)
         self._current_episode: List[int] = []

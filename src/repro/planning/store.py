@@ -36,6 +36,7 @@ from repro.planning.state import PlanningState
 from repro.planning.trainer import LearningCurve, RoutineTrainer, TrainingResult
 from repro.rl.convergence import convergence_iteration
 from repro.rl.qtable import QTable
+from repro.sim.random import seeded_generator
 
 __all__ = [
     "save_predictor",
@@ -330,7 +331,7 @@ def train_routine_cached(
     document = cache.get(key) if cache is not None else None
     if document is None:
         trainer = RoutineTrainer(
-            adl, config, learner=learner, rng=np.random.default_rng(rng_seed)
+            adl, config, learner=learner, rng=seeded_generator(rng_seed)
         )
         routine = Routine(adl, routine_ids)
         result = trainer.train(

@@ -37,6 +37,7 @@ from repro.rl.dyna import DynaQLearner
 from repro.rl.policies import EpsilonGreedyPolicy
 from repro.rl.schedules import ExponentialDecay
 from repro.rl.tdlambda import TDLambdaQLearner
+from repro.sim.random import seeded_generator
 
 __all__ = [
     "LearningCurve",
@@ -153,7 +154,7 @@ class RoutineTrainer:
     ) -> None:
         self.adl = adl
         self.config = config if config is not None else PlanningConfig()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else seeded_generator(0)
         if learner is None:
             policy = EpsilonGreedyPolicy(
                 ExponentialDecay(self.config.epsilon, self.config.epsilon_decay)

@@ -42,6 +42,18 @@ class KofNDetector:
     detector quiet while the same handling continues.
     """
 
+    __slots__ = (
+        "threshold",
+        "k",
+        "n",
+        "refractory_samples",
+        "_window",
+        "_window_sum",
+        "_refractory_left",
+        "detections",
+        "samples_seen",
+    )
+
     def __init__(
         self,
         threshold: float,

@@ -133,14 +133,19 @@ class SensorNetwork:
             self.nodes[tool.tool_id] = node
 
     def start(self) -> None:
-        """Boot every node's firmware loop."""
-        for node in self.nodes.values():
-            node.start()
+        """Boot every node's firmware loop.
+
+        Boot order is the ADL's tool order (an explicit sequence, per
+        DET003): it decides the kernel sequence numbers of the t=0
+        sampling events, hence the event stream's bytes.
+        """
+        for tool in self.adl.tools:
+            self.nodes[tool.tool_id].start()
 
     def stop(self) -> None:
-        """Power all nodes down."""
-        for node in self.nodes.values():
-            node.stop()
+        """Power all nodes down (in the same explicit tool order)."""
+        for tool in self.adl.tools:
+            self.nodes[tool.tool_id].stop()
 
     def node(self, tool_id: int) -> PavenetNode:
         """The node attached to ``tool_id``."""

@@ -80,6 +80,15 @@ class SignalSource:
     the 10 Hz cadence.
     """
 
+    __slots__ = (
+        "profile",
+        "_rng",
+        "_active",
+        "_active_until",
+        "epoch",
+        "_regime_listeners",
+    )
+
     def __init__(self, profile: SignalProfile, rng: np.random.Generator) -> None:
         self.profile = profile
         self._rng = rng

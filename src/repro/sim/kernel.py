@@ -46,7 +46,9 @@ class Event:
     cancelled: bool = field(default=False, compare=False)
 
     def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
+        # Exact != is correct here: the tie-break must engage only
+        # for bit-identical times (same-instant FIFO ordering).
+        if self.time != other.time:  # repro: allow[DET004] exact tie-break
             return self.time < other.time
         return self.seq < other.seq
 

@@ -1,0 +1,93 @@
+"""Regression tests for the ``repro lint`` CLI surface.
+
+Exit-code contract: 0 clean, 1 findings, 2 usage error.  Runs the CLI
+in-process through ``repro.cli.main`` so failures show real
+tracebacks instead of a subprocess exit status.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DIRTY = (
+    "import numpy as np\n"
+    "\n"
+    "def cell(now, deadline):\n"
+    "    if now == deadline:\n"
+    "        return np.random.default_rng(0)\n"
+)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("VALUE = 3\n", encoding="utf-8")
+    return path
+
+
+def test_clean_path_exits_zero(clean_file, capsys):
+    assert main(["lint", str(clean_file)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_findings_exit_one_with_locations(dirty_file, capsys):
+    assert main(["lint", str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    # np.random.default_rng plus the timestamp equality
+    assert "DET001" in out and "DET004" in out
+    assert f"{dirty_file}:5:" in out
+
+
+def test_json_format(dirty_file, capsys):
+    assert main(["lint", "--format", "json", str(dirty_file)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    rules = {finding["rule"] for finding in document["findings"]}
+    assert rules == {"DET001", "DET004"}
+
+
+def test_rules_filter_limits_the_pack(dirty_file, capsys):
+    # Filtering to DET001,DET002 must hide the DET004 finding.
+    assert main(["lint", "--rules", "DET001,DET002", str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "DET004" not in out
+
+
+def test_rules_filter_can_make_a_dirty_file_pass(dirty_file):
+    assert main(["lint", "--rules", "SIM001", str(dirty_file)]) == 0
+
+
+def test_unknown_rule_is_usage_error(dirty_file):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--rules", "DET999", str(dirty_file)])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", str(tmp_path / "no_such_dir")])
+    assert excinfo.value.code == 2
+
+
+def test_suppressed_findings_do_not_fail(tmp_path, capsys):
+    path = tmp_path / "allowed.py"
+    path.write_text(
+        "import numpy as np\n"
+        "\n"
+        "def cell():\n"
+        "    return np.random.default_rng(0)  # repro: allow[DET001] fixture\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", str(path)]) == 0
+    assert "1 suppressed" in capsys.readouterr().out
