@@ -1,0 +1,141 @@
+"""Bench: the indexed dense RL core vs the sparse dict backend.
+
+Times the training-dominated experiment cells (the Fig. 4 learning
+curves, both hyper-parameter sensitivity sweeps and the three
+RL-heavy ablations) under ``REPRO_Q_BACKEND=sparse`` and ``=dense``,
+asserts the merged section outputs are byte-identical (the contract
+of ``docs/architecture.md``) and that the dense backend wins.
+Measurements land in ``BENCH_rl.json`` at the repo root, next to
+``BENCH_sensing.json`` and ``BENCH_runner.json``.
+
+Timing uses ``time.process_time`` (CPU seconds) with best-of-N per
+backend: the cells are pure CPU, and process time is far less noisy
+than wall clock on a shared machine.  The per-cell speedups still
+wobble by ~±10%, so the hard assertion is on the *aggregate* ratio
+(total sparse CPU / total dense CPU) with per-cell ratios recorded in
+the JSON for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.evalx.ablations import (
+    plan_dyna_sweep,
+    plan_lambda_sweep,
+    plan_sarsa_comparison,
+)
+from repro.evalx.learning_curve import plan_learning_curve
+from repro.evalx.parallel import run_section
+from repro.evalx.runner import run_all
+from repro.evalx.sensitivity import plan_alpha_sweep, plan_epsilon_sweep
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_rl.json"
+_ROUNDS = 3
+#: Aggregate dense-over-sparse floor.  Individual cells land around
+#: 3x (recorded in the JSON); the hard gate leaves noise headroom.
+_REQUIRED_AGGREGATE_SPEEDUP = 2.0
+
+#: cell name -> planner(adl) for every training-dominated cell.
+_CELLS = {
+    "fig4.curve": plan_learning_curve,
+    "sensitivity.alpha": plan_alpha_sweep,
+    "sensitivity.epsilon": plan_epsilon_sweep,
+    "ablation.dyna": plan_dyna_sweep,
+    "ablation.lambda": plan_lambda_sweep,
+    "ablation.sarsa": plan_sarsa_comparison,
+}
+
+
+def _run_cells(adls, backend):
+    """(per-cell CPU seconds, per-cell merged output) under ``backend``.
+
+    ``REPRO_Q_BACKEND`` is read by ``PlanningConfig()`` construction
+    inside each cell, so flipping the environment variable switches
+    every learner the cell builds.
+    """
+    os.environ["REPRO_Q_BACKEND"] = backend
+    seconds = {}
+    outputs = {}
+    for adl in adls:
+        for name, planner in _CELLS.items():
+            key = f"{name}.{adl.name}"
+            start = time.process_time()
+            outputs[key] = run_section(planner(adl))
+            seconds[key] = time.process_time() - start
+    return seconds, outputs
+
+
+def test_dense_rl_core(benchmark, paper_adls, monkeypatch):
+    monkeypatch.delenv("REPRO_Q_BACKEND", raising=False)
+    adls = [definition.adl for definition in paper_adls]
+    tooth = adls[:1]
+
+    # Warm both code paths once so neither backend's first timed round
+    # pays import/JIT-warmup costs.
+    _run_cells(tooth, "sparse")
+    _run_cells(tooth, "dense")
+
+    best_sparse = {}
+    best_dense = {}
+    outputs_equal = True
+    for _ in range(_ROUNDS):
+        sparse_s, sparse_out = _run_cells(adls, "sparse")
+        dense_s, dense_out = _run_cells(adls, "dense")
+        outputs_equal = outputs_equal and sparse_out == dense_out
+        for key in sparse_s:
+            best_sparse[key] = min(
+                best_sparse.get(key, float("inf")), sparse_s[key]
+            )
+            best_dense[key] = min(
+                best_dense.get(key, float("inf")), dense_s[key]
+            )
+
+    # The report itself must not depend on the backend either.
+    os.environ["REPRO_Q_BACKEND"] = "sparse"
+    report_sparse = run_all(fast=True)
+    os.environ["REPRO_Q_BACKEND"] = "dense"
+    report_dense = run_all(fast=True)
+    os.environ.pop("REPRO_Q_BACKEND", None)
+    reports_equal = report_sparse == report_dense
+
+    total_sparse = sum(best_sparse.values())
+    total_dense = sum(best_dense.values())
+    aggregate = total_sparse / total_dense
+
+    # The benchmarked quantity: the heaviest training-dominated cell
+    # on the default (dense) backend.
+    benchmark.pedantic(
+        lambda: run_section(plan_dyna_sweep(adls[0])),
+        rounds=1,
+        iterations=1,
+    )
+
+    payload = {
+        "backend_default": "dense",
+        "equivalent_outputs": bool(outputs_equal),
+        "fast_report_identical": bool(reports_equal),
+        "cells": {
+            key: {
+                "sparse_seconds": round(best_sparse[key], 3),
+                "dense_seconds": round(best_dense[key], 3),
+                "speedup": round(best_sparse[key] / best_dense[key], 2),
+            }
+            for key in sorted(best_sparse)
+        },
+        "aggregate": {
+            "sparse_seconds": round(total_sparse, 3),
+            "dense_seconds": round(total_dense, 3),
+            "speedup": round(aggregate, 2),
+        },
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {_OUT}")
+    print(json.dumps(payload, indent=2))
+
+    assert outputs_equal
+    assert reports_equal
+    assert aggregate >= _REQUIRED_AGGREGATE_SPEEDUP

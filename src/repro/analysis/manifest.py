@@ -58,13 +58,24 @@ TIMESTAMP_NAMES = frozenset({"t", "time", "now", "deadline", "active_until"})
 PROCESS_DIRECTIVES = frozenset({"Timeout", "Wait"})
 
 #: Hot-path classes that must declare ``__slots__`` (PERF001): the
-#: kernel allocates one ``Event`` per scheduled callback, and every
-#: 10 Hz sample touches a detector and a signal source.  Each entry
-#: is ``(module path suffix, class names in that module)``.
+#: kernel allocates one ``Event`` per scheduled callback, every
+#: 10 Hz sample touches a detector and a signal source, and every
+#: RL training transition goes through the dense Q/trace backend.
+#: Each entry is ``(module path suffix, class names in that module)``.
 HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("repro/sim/kernel.py", ("Event",)),
     ("repro/sensors/detector.py", ("KofNDetector",)),
     ("repro/sensors/signals.py", ("SignalSource",)),
+    (
+        "repro/rl/dense.py",
+        (
+            "_ActionView",
+            "StateActionIndex",
+            "DenseQTable",
+            "_ArgmaxProber",
+            "DenseTraces",
+        ),
+    ),
 )
 
 

@@ -14,6 +14,7 @@ Defaults are taken from the paper wherever it states a number:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.core.errors import ConfigurationError
@@ -89,6 +90,17 @@ class RadioConfig:
             raise ConfigurationError("max_retries must be >= 0")
 
 
+def _default_q_backend() -> str:
+    """Process-wide default Q backend, overridable via environment.
+
+    The backends train byte-identically (see docs/architecture.md),
+    so the knob only selects a speed profile; the env hook lets the
+    benchmark A/B the full experiment pipeline without threading a
+    parameter through every plan builder.
+    """
+    return os.environ.get("REPRO_Q_BACKEND", "dense")
+
+
 @dataclass(frozen=True)
 class PlanningConfig:
     """TD(λ) Q-learning parameters (paper section 2.2).
@@ -131,6 +143,11 @@ class PlanningConfig:
     #: tool (8 actions × rare ε hits would need far more than the
     #: paper's 120 samples).
     initial_q: float = 1000.0
+    #: Q-table storage backend: "dense" (indexed NumPy arrays) or
+    #: "sparse" (the reference dict implementation).  Both produce
+    #: bit-identical training runs and share cache entries; dense is
+    #: several times faster on the training-bound experiment cells.
+    q_backend: str = field(default_factory=_default_q_backend)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.learning_rate <= 1.0:
@@ -149,6 +166,10 @@ class PlanningConfig:
             raise ConfigurationError(
                 "minimal_reward must be >= specific_reward (the paper "
                 "rewards minimal prompting more to promote independence)"
+            )
+        if self.q_backend not in ("dense", "sparse"):
+            raise ConfigurationError(
+                f"q_backend must be 'dense' or 'sparse', got {self.q_backend!r}"
             )
 
 

@@ -187,6 +187,7 @@ def _expected_sarsa_cell(adl: ADL, seed: int, episodes: int) -> float:
         discount=config.discount,
         epsilon=0.1,
         initial_q=config.initial_q,
+        q_backend=config.q_backend,
     )
     trainer = RoutineTrainer(
         adl, config, learner=learner, rng=seeded_generator(seed)
@@ -309,6 +310,7 @@ def _multi_routine_cell(
     rows = []
     for label, routine in zip(("routine A", "routine B"), routines):
         steps = list(routine.step_ids)
+        states = episode_states(steps)
         multi_correct = 0
         single_correct = 0
         total = len(steps) - 1
@@ -316,9 +318,8 @@ def _multi_routine_cell(
             prefix = steps[: index + 1]
             if planner.predict(prefix).tool_id == steps[index + 1]:
                 multi_correct += 1
-            state = episode_states(steps)[index]
             greedy = single_result.learner.q.best_action(
-                state, list(single.actions)
+                states[index], single.actions
             )
             if greedy.tool_id == steps[index + 1]:
                 single_correct += 1
@@ -714,6 +715,7 @@ def _train_sarsa(
             ExponentialDecay(config.epsilon, config.epsilon_decay)
         ),
         initial_q=config.initial_q,
+        q_backend=config.q_backend,
     )
     routine_steps = list(log[0])
     reward_fn = CoReDAReward(config, routine_steps[-1])

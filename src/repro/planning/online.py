@@ -22,7 +22,7 @@ routines deteriorate).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,7 +66,10 @@ class OnlineAdaptation:
         self.learner = learner
         self.config = config if config is not None else PlanningConfig()
         self._rng = rng if rng is not None else seeded_generator(0)
-        self.actions: List[PromptAction] = action_space(adl)
+        # A tuple: the dense backend caches the repr-sort order of an
+        # action set by tuple identity, so replaying every episode
+        # with the same tuple keeps the argmax path allocation-free.
+        self.actions: Tuple[PromptAction, ...] = tuple(action_space(adl))
         learner.policy = EpsilonGreedyPolicy(epsilon)
         self._current_episode: List[int] = []
         self._recent_hits: Deque[bool] = deque(maxlen=drift_window)

@@ -15,17 +15,22 @@ from repro.core.errors import NotConvergedError
 from repro.planning.action import PromptAction
 from repro.planning.state import PlanningState
 from repro.planning.trainer import TrainingResult
+from repro.rl.dense import DenseQTable
 from repro.rl.qtable import QTable
 
 __all__ = ["NextStepPredictor"]
 
 
 class NextStepPredictor:
-    """Greedy next-step lookup over a trained Q-table."""
+    """Greedy next-step lookup over a trained Q-table.
+
+    Works over either Q backend -- the actions tuple is kept stable
+    so the dense backend's interned argmax order is reused per call.
+    """
 
     def __init__(
         self,
-        q: QTable,
+        q: Union[QTable, DenseQTable],
         actions: Sequence[PromptAction],
         converged: bool = True,
     ) -> None:

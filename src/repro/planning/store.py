@@ -154,13 +154,17 @@ def training_cache_key(
     the number of replayed episodes and the RNG seed.  Convergence
     *criteria* are deliberately excluded -- they are recomputed from
     the cached curve, so sweeps asking different criteria of the same
-    training still share an entry.
+    training still share an entry.  The ``q_backend`` knob is also
+    excluded: the backends train byte-identically, so a cache entry
+    written sparse must be hit dense (and vice versa).
     """
+    config_payload = asdict(config)
+    config_payload.pop("q_backend", None)
     payload = {
         "format": FORMAT_VERSION,
         "adl": adl_name,
         "routine": [int(step) for step in routine_ids],
-        "config": asdict(config),
+        "config": config_payload,
         "learner": list(learner),
         "episodes": int(episodes),
         "seed": int(rng_seed),
@@ -301,6 +305,7 @@ def _build_learner(config: PlanningConfig, learner_spec):
                 ExponentialDecay(config.epsilon, config.epsilon_decay)
             ),
             initial_q=config.initial_q,
+            q_backend=config.q_backend,
         )
         return learner, ("dyna-q", steps)
     raise ValueError(f"unknown learner spec {learner_spec!r}")

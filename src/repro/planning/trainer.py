@@ -31,8 +31,9 @@ from repro.core.adl import ADL, ReminderLevel, Routine
 from repro.core.config import PlanningConfig
 from repro.planning.action import PromptAction, action_space
 from repro.planning.rewards_coreda import CoReDAReward
-from repro.planning.state import episode_states
+from repro.planning.state import PlanningState, episode_states
 from repro.rl.convergence import convergence_iteration
+from repro.rl.dense import DenseQTable
 from repro.rl.dyna import DynaQLearner
 from repro.rl.policies import EpsilonGreedyPolicy
 from repro.rl.schedules import ExponentialDecay
@@ -54,6 +55,7 @@ def replay_episode(
     reward_fn: CoReDAReward,
     rng: np.random.Generator,
     iteration: int = 0,
+    states: Optional[Sequence[PlanningState]] = None,
 ) -> Tuple[int, int]:
     """Replay one logged episode through a learner.
 
@@ -62,23 +64,33 @@ def replay_episode(
     were not followed are flagged off-target (strict Watkins cut).
     Returns ``(correct_prompts, total_prompts)``.
 
+    ``states`` may carry the precomputed ``episode_states(episode)``
+    trajectory -- the trainer replays the same episodes hundreds of
+    times, so it caches them instead of rebuilding the namedtuples
+    every iteration.
+
     Shared by offline training (:class:`RoutineTrainer`) and online
     adaptation (:class:`repro.planning.online.OnlineAdaptation`).
     """
-    states = episode_states(list(episode))
+    if states is None:
+        states = episode_states(list(episode))
     learner.begin_episode()
     correct = 0
     total = 0
+    select = learner.select_action
+    observe = learner.observe
+    score = reward_fn.reward
+    terminal = reward_fn.terminal_step_id
+    is_dyna = isinstance(learner, DynaQLearner)
     for index in range(len(states) - 1):
         state, next_state = states[index], states[index + 1]
-        action, exploratory = learner.select_action(
-            state, actions, rng, step=iteration
-        )
-        reward = reward_fn.reward(state, action, next_state)
-        done = next_state.current == reward_fn.terminal_step_id
-        off_target = exploratory or action.tool_id != next_state.current
-        if isinstance(learner, DynaQLearner):
-            learner.observe(
+        action, exploratory = select(state, actions, rng, step=iteration)
+        reward = score(state, action, next_state)
+        followed = action.tool_id == next_state.current
+        done = next_state.current == terminal
+        off_target = exploratory or not followed
+        if is_dyna:
+            observe(
                 state,
                 action,
                 reward,
@@ -89,12 +101,12 @@ def replay_episode(
                 exploratory=off_target,
             )
         else:
-            learner.observe(
+            observe(
                 state, action, reward, next_state, actions, done,
                 exploratory=off_target,
             )
         total += 1
-        if action.tool_id == next_state.current:
+        if followed:
             correct += 1
     return correct, total
 
@@ -165,9 +177,22 @@ class RoutineTrainer:
                 trace_decay=self.config.trace_decay,
                 policy=policy,
                 initial_q=self.config.initial_q,
+                q_backend=self.config.q_backend,
             )
         self.learner = learner
         self.actions: Tuple[PromptAction, ...] = tuple(action_space(adl))
+        # Probe-state cache: the greedy probe runs once per training
+        # iteration over the same routine, so its states, the expected
+        # next steps, and (on the dense backend) a prebound argmax
+        # prober are computed once per routine.
+        self._probe_cache: Optional[tuple] = None
+        # Episode-trajectory cache: the paper replays the same logged
+        # episodes for hundreds of iterations, so their PlanningState
+        # trajectories are built once per distinct step sequence.
+        self._states_cache: Dict[Tuple[int, ...], List[PlanningState]] = {}
+        # The batched greedy probe, resolved once: per-state fallback
+        # for custom learners without ``greedy_actions``.
+        self._greedy_batch = getattr(self.learner, "greedy_actions", None)
 
     def train(
         self,
@@ -213,27 +238,56 @@ class RoutineTrainer:
 
     def _train_episode(self, episode, reward_fn: CoReDAReward, iteration: int) -> float:
         """One pass over one logged episode; returns behaviour accuracy."""
+        key = tuple(episode)
+        states = self._states_cache.get(key)
+        if states is None:
+            states = episode_states(key)
+            self._states_cache[key] = states
         correct, total = replay_episode(
-            self.learner, self.actions, episode, reward_fn, self._rng, iteration
+            self.learner, self.actions, episode, reward_fn, self._rng,
+            iteration, states=states,
         )
         if total == 0:
             return 1.0
         return correct / total
 
     def _probe_greedy(self, routine: Routine) -> Tuple[float, float]:
-        """Greedy accuracy and minimal-level fraction on the routine."""
-        states = episode_states(list(routine.step_ids))
-        correct = 0
-        minimal = 0
-        total = len(states) - 1
+        """Greedy accuracy and minimal-level fraction on the routine.
+
+        Probes all routine states in one batched argmax when the
+        learner supports it (one ``greedy_actions`` call on the dense
+        backend); per-state ``greedy_action`` otherwise, so custom
+        learners passed to the trainer keep working unchanged.
+        """
+        key = tuple(routine.step_ids)
+        if self._probe_cache is None or self._probe_cache[0] != key:
+            states = episode_states(list(key))
+            expected = [state.current for state in states[1:]]
+            prober = None
+            if self._greedy_batch is not None:
+                q = getattr(self.learner, "q", None)
+                if type(q) is DenseQTable and states[:-1]:
+                    prober = q.argmax_prober(states[:-1], self.actions)
+            self._probe_cache = (key, states[:-1], expected, prober)
+        _, probe_states, expected, prober = self._probe_cache
+        total = len(probe_states)
         if total <= 0:
             return 1.0, 1.0
-        for index in range(total):
-            state = states[index]
-            expected = states[index + 1].current
-            action = self.learner.greedy_action(state, self.actions)
-            if action.tool_id == expected:
+        if prober is not None:
+            chosen = prober()
+        elif self._greedy_batch is not None:
+            chosen = self._greedy_batch(probe_states, self.actions)
+        else:
+            chosen = [
+                self.learner.greedy_action(state, self.actions)
+                for state in probe_states
+            ]
+        correct = 0
+        minimal = 0
+        wants_minimal = ReminderLevel.MINIMAL
+        for action, expected_step in zip(chosen, expected):
+            if action.tool_id == expected_step:
                 correct += 1
-            if action.level is ReminderLevel.MINIMAL:
+            if action.level is wants_minimal:
                 minimal += 1
         return correct / total, minimal / total

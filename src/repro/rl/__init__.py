@@ -9,6 +9,13 @@ detection.
 """
 
 from repro.rl.convergence import ConvergenceDetector, convergence_iteration
+from repro.rl.dense import (
+    DenseQTable,
+    DenseTraces,
+    StateActionIndex,
+    make_qtable,
+    make_traces,
+)
 from repro.rl.double_q import DoubleQLearner
 from repro.rl.dyna import DynaQLearner
 from repro.rl.expected_sarsa import ExpectedSarsaLearner
@@ -43,6 +50,8 @@ __all__ = [
     "CallableReward",
     "ConstantSchedule",
     "ConvergenceDetector",
+    "DenseQTable",
+    "DenseTraces",
     "DoubleQLearner",
     "DynaQLearner",
     "EligibilityTraces",
@@ -59,6 +68,7 @@ __all__ = [
     "SarsaLambdaLearner",
     "Schedule",
     "SoftmaxPolicy",
+    "StateActionIndex",
     "TabularMDP",
     "TabularReward",
     "TDLambdaQLearner",
@@ -68,6 +78,8 @@ __all__ = [
     "ValueIterationResult",
     "convergence_iteration",
     "extract_policy",
+    "make_qtable",
+    "make_traces",
     "q_values",
     "value_iteration",
 ]

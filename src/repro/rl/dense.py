@@ -1,0 +1,804 @@
+"""Indexed dense backend for the tabular RL stack.
+
+The sparse :class:`~repro.rl.qtable.QTable` pays, on every argmax, a
+fresh ``sorted(actions, key=repr)`` (string formatting per action) and
+one dict probe per action with tuple-of-namedtuple hashing -- and the
+trainer probes the greedy policy over the whole routine every
+iteration, so that cost dominates every training-bound experiment
+cell.  This module replaces the data layout, not the algorithm:
+
+* :class:`StateActionIndex` interns states and actions to dense
+  integer ids and computes each action set's repr-sort order **once**,
+  preserving the sparse backend's deterministic tie-breaking exactly;
+* :class:`DenseQTable` stores Q row-major in one flat buffer indexed
+  by ``state_id * stride + action_id``, with a NumPy ``[n_states,
+  n_actions]`` mirror behind :meth:`as_array` that services the
+  vectorized argmax paths once a batch is large enough to beat the
+  interpreter (``_VECTOR_MIN_ELEMENTS``).  At routine scale (tens of
+  states, a handful of actions) the flat scalar path wins: a Python
+  list index costs ~0.05us against ~0.36us for a NumPy scalar
+  ``arr[i, j] += x``, measured on this container -- the dense win
+  comes from interning away repr-sorting and dict hashing, and the
+  NumPy paths take over as the table grows;
+* :class:`DenseTraces` keeps the active eligibility traces as flat
+  id-pair vectors so a TD(λ) sweep applies ``Q[active] += coef *
+  e[active]`` over precomputed offsets with no hashing and no
+  snapshot copy.
+
+The contract, in the spirit of the sensing fast path: training through
+this backend is **byte-identical** to the sparse backend -- the same
+IEEE-754 operations in an order whose regrouping is value-exact
+(elementwise multiply/add per independent pair, first-max argmax over
+the same repr order), so Q-values, learning curves, convergence
+iterations, RNG draw sequences and cached training documents come out
+bit-for-bit equal.  ``tests/test_rl_dense.py`` pins that down per
+learner, trace kind and seed.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rl.qtable import QTable
+from repro.rl.traces import EligibilityTraces, TraceKind
+
+__all__ = [
+    "StateActionIndex",
+    "DenseQTable",
+    "DenseTraces",
+    "make_qtable",
+    "make_traces",
+]
+
+State = Hashable
+Action = Hashable
+
+#: Identity-cache entries kept before the cache is dropped wholesale
+#: (guards against callers that build a fresh actions tuple per call).
+_IDENTITY_CACHE_LIMIT = 256
+
+#: Batched argmax switches from the scalar loop to the NumPy mirror
+#: when ``len(states) * len(actions)`` reaches this.  Below it the
+#: loop is faster (measured crossover ~40 elements on equal terms,
+#: but the mirror may also need an O(table) rebuild when dirty, so
+#: the threshold is set where the rebuild amortizes too).
+_VECTOR_MIN_ELEMENTS = 2048
+
+
+def _make_gather(offsets: List[int]):
+    """A C-speed gather: ``flat -> (flat[off] for off in offsets)``.
+
+    ``operator.itemgetter`` replaces the per-element interpreter loop
+    with one C call; the single-offset case is wrapped so callers
+    always get a tuple back.
+    """
+    if len(offsets) == 1:
+        def gather(seq, _off=offsets[0]):
+            return (seq[_off],)
+
+        return gather
+    return itemgetter(*offsets)
+
+
+class _ActionView:
+    """One interned action sequence with its precomputed orders."""
+
+    __slots__ = (
+        "actions",
+        "ids",
+        "ids_list",
+        "sorted_ids",
+        "sorted_ids_list",
+        "sorted_actions",
+        "max_id",
+    )
+
+    def __init__(
+        self,
+        actions: Tuple[Action, ...],
+        ids_list: List[int],
+        sorted_ids_list: List[int],
+        sorted_actions: Tuple[Action, ...],
+    ) -> None:
+        self.actions = actions
+        self.ids_list = ids_list
+        self.sorted_ids_list = sorted_ids_list
+        self.sorted_actions = sorted_actions
+        self.ids = np.array(ids_list, dtype=np.intp)
+        self.sorted_ids = np.array(sorted_ids_list, dtype=np.intp)
+        self.max_id = max(ids_list) if ids_list else -1
+
+
+class StateActionIndex:
+    """Interns states/actions to dense ids; append-only, shareable.
+
+    The repr-sort order of an action sequence -- the sparse backend's
+    tie-breaking order -- is computed once per distinct sequence and
+    cached, first by tuple identity (the trainers pass the same
+    actions tuple on every call) and then by value.
+    """
+
+    __slots__ = (
+        "states",
+        "actions",
+        "_state_ids",
+        "_action_ids",
+        "_views",
+        "_views_by_identity",
+    )
+
+    def __init__(self) -> None:
+        #: id -> state, in interning order.
+        self.states: List[State] = []
+        #: id -> action, in interning order.
+        self.actions: List[Action] = []
+        self._state_ids: Dict[State, int] = {}
+        self._action_ids: Dict[Action, int] = {}
+        self._views: Dict[Tuple[Action, ...], _ActionView] = {}
+        self._views_by_identity: Dict[int, Tuple[Sequence[Action], _ActionView]] = {}
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_actions(self) -> int:
+        return len(self.actions)
+
+    def state_id(self, state: State) -> int:
+        """The dense id of ``state``, interning it on first sight."""
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = len(self.states)
+            self._state_ids[state] = sid
+            self.states.append(state)
+        return sid
+
+    def action_id(self, action: Action) -> int:
+        """The dense id of ``action``, interning it on first sight."""
+        aid = self._action_ids.get(action)
+        if aid is None:
+            aid = len(self.actions)
+            self._action_ids[action] = aid
+            self.actions.append(action)
+        return aid
+
+    def view(self, actions: Sequence[Action]) -> _ActionView:
+        """The cached :class:`_ActionView` for ``actions``.
+
+        Tuples are additionally cached by object identity (with a
+        strong reference, so the id cannot be recycled); mutable
+        sequences always take the value-keyed path.
+        """
+        if type(actions) is tuple:
+            cached = self._views_by_identity.get(id(actions))
+            if cached is not None and cached[0] is actions:
+                return cached[1]
+        key = tuple(actions)
+        view = self._views.get(key)
+        if view is None:
+            ids = [self.action_id(a) for a in key]
+            # Stable sort by repr = the sparse backend's tie-break order.
+            order = sorted(range(len(key)), key=lambda i: repr(key[i]))
+            sorted_ids = [ids[i] for i in order]
+            sorted_actions = tuple(key[i] for i in order)
+            view = _ActionView(key, ids, sorted_ids, sorted_actions)
+            self._views[key] = view
+        if type(actions) is tuple:
+            if len(self._views_by_identity) >= _IDENTITY_CACHE_LIMIT:
+                self._views_by_identity.clear()
+            self._views_by_identity[id(actions)] = (actions, view)
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StateActionIndex(states={len(self.states)}, "
+            f"actions={len(self.actions)})"
+        )
+
+
+class DenseQTable:
+    """Dense ``(state, action) -> value`` table over indexed storage.
+
+    API-compatible with :class:`~repro.rl.qtable.QTable` (default
+    initial value, repr-order tie-breaking, loud empty-action errors,
+    ``known_pairs`` over the written support).  Values live row-major
+    in one flat buffer (``offset = state_id * stride + action_id``);
+    :meth:`as_array` exposes the same data as a NumPy matrix, rebuilt
+    lazily after writes, which :meth:`best_actions` uses for large
+    batches.  Tables may share one :class:`StateActionIndex` (Double
+    Q-learning does).
+    """
+
+    __slots__ = (
+        "initial_value",
+        "index",
+        "_flat",
+        "_written",
+        "_rows",
+        "_cols",
+        "_array",
+        "_state_ids",
+        "_action_ids",
+        "_last_actions",
+        "_last_view",
+        "_gather",
+        "_g0_view",
+        "_g0",
+        "_g1_view",
+        "_g1",
+        "_grow_count",
+    )
+
+    def __init__(
+        self,
+        initial_value: float = 0.0,
+        index: Optional[StateActionIndex] = None,
+    ) -> None:
+        self.initial_value = float(initial_value)
+        self.index = index if index is not None else StateActionIndex()
+        self._flat: List[float] = []
+        self._written = bytearray()
+        self._rows = 0
+        self._cols = 0
+        self._array: Optional[np.ndarray] = None
+        # Hot-path shortcuts: the index's intern dicts are mutated in
+        # place and never replaced, so the table can probe them with
+        # one dict.get and fall back to the interning method only on
+        # first sight.  ``_last_actions`` is a one-entry view cache --
+        # the trainers pass the same actions tuple on every call.
+        self._state_ids = self.index._state_ids
+        self._action_ids = self.index._action_ids
+        self._last_actions: Optional[Tuple[Action, ...]] = None
+        self._last_view: Optional[_ActionView] = None
+        # (state_id, view, sorted?) -> itemgetter over flat offsets.
+        # Offsets bake in the stride, so _grow clears this in place
+        # (hot paths hold a reference to the dict itself) and bumps
+        # ``_grow_count`` so externally cached offsets can revalidate.
+        self._gather: Dict[Tuple[int, _ActionView, int], object] = {}
+        # Single-view fast lanes: almost every hot call uses one
+        # action view, so the per-row gathers for that view live in
+        # int-keyed dicts (``_g0`` given order, ``_g1`` repr order),
+        # reset when the view changes or the table grows.
+        self._g0_view: Optional[_ActionView] = None
+        self._g0: Dict[int, object] = {}
+        self._g1_view: Optional[_ActionView] = None
+        self._g1: Dict[int, object] = {}
+        self._grow_count = 0
+
+    def _view(self, actions: Sequence[Action]) -> _ActionView:
+        """The action view, via the one-entry identity cache."""
+        if actions is self._last_actions:
+            return self._last_view
+        view = self.index.view(actions)
+        if type(actions) is tuple:
+            self._last_actions = actions
+            self._last_view = view
+        return view
+
+    # ------------------------------------------------------------------
+    # storage
+
+    def _grow(self) -> None:
+        """Grow the buffers to cover everything the index has interned."""
+        need_rows = len(self.index.states)
+        need_cols = len(self.index.actions)
+        rows, cols = self._rows, self._cols
+        new_rows = max(rows, 16)
+        while new_rows < need_rows:
+            new_rows *= 2
+        new_cols = max(cols, 8)
+        while new_cols < need_cols:
+            new_cols *= 2
+        if new_rows == rows and new_cols == cols:
+            return
+        flat = [self.initial_value] * (new_rows * new_cols)
+        written = bytearray(new_rows * new_cols)
+        old_flat = self._flat
+        old_written = self._written
+        for r in range(rows):
+            src = r * cols
+            dst = r * new_cols
+            flat[dst:dst + cols] = old_flat[src:src + cols]
+            written[dst:dst + cols] = old_written[src:src + cols]
+        self._flat = flat
+        self._written = written
+        self._rows = new_rows
+        self._cols = new_cols
+        self._array = None
+        self._gather.clear()
+        self._g0_view = None
+        self._g0 = {}
+        self._g1_view = None
+        self._g1 = {}
+        self._grow_count += 1
+
+    def _ensure_capacity(self) -> None:
+        """Cheap guard: grow if the index outgrew the buffers."""
+        if (
+            len(self.index.states) > self._rows
+            or len(self.index.actions) > self._cols
+        ):
+            self._grow()
+
+    def as_array(self) -> np.ndarray:
+        """The NumPy ``[rows, cols]`` mirror of the flat storage.
+
+        Rebuilt lazily after scalar writes; do not mutate it -- writes
+        go through :meth:`set`/:meth:`add` so both layouts agree.
+        """
+        arr = self._array
+        if arr is None:
+            arr = np.asarray(self._flat, dtype=np.float64).reshape(
+                self._rows, self._cols
+            )
+            self._array = arr
+        return arr
+
+    # ------------------------------------------------------------------
+    # QTable-compatible API
+
+    def value(self, state: State, action: Action) -> float:
+        """Q(s, a), defaulting to the initial value for unseen pairs."""
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = self.index.state_id(state)
+        aid = self._action_ids.get(action)
+        if aid is None:
+            aid = self.index.action_id(action)
+        if sid >= self._rows or aid >= self._cols:
+            self._grow()
+        return self._flat[sid * self._cols + aid]
+
+    def set(self, state: State, action: Action, value: float) -> None:
+        """Assign Q(s, a)."""
+        sid = self.index.state_id(state)
+        aid = self.index.action_id(action)
+        if sid >= self._rows or aid >= self._cols:
+            self._grow()
+        off = sid * self._cols + aid
+        self._flat[off] = float(value)
+        self._written[off] = 1
+        self._array = None
+
+    def add(self, state: State, action: Action, delta: float) -> None:
+        """In-place ``Q(s, a) += delta``."""
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = self.index.state_id(state)
+        aid = self._action_ids.get(action)
+        if aid is None:
+            aid = self.index.action_id(action)
+        if sid >= self._rows or aid >= self._cols:
+            self._grow()
+        off = sid * self._cols + aid
+        flat = self._flat
+        flat[off] = flat[off] + delta
+        self._written[off] = 1
+        self._array = None
+
+    def best_action(self, state: State, actions: Sequence[Action]) -> Action:
+        """Argmax over ``actions``; first maximum in repr order wins.
+
+        Raises ``ValueError`` on an empty action sequence -- a state
+        with no actions is a modelling bug we want loud.
+        """
+        view = self._view(actions)
+        sorted_ids = view.sorted_ids_list
+        if not sorted_ids:
+            raise ValueError(f"no actions available in state {state!r}")
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = self.index.state_id(state)
+        if sid >= self._rows or view.max_id >= self._cols:
+            self._grow()
+        if view is self._g1_view:
+            g = self._g1.get(sid)
+        else:
+            self._g1_view = view
+            self._g1 = {}
+            g = None
+        if g is None:
+            base = sid * self._cols
+            g = _make_gather([base + a for a in sorted_ids])
+            self._g1[sid] = g
+        # index(max(values)) is the first maximum in repr order --
+        # exactly the sparse tie-break -- with every scan in C.
+        values = g(self._flat)
+        return view.sorted_actions[values.index(max(values))]
+
+    def max_value(self, state: State, actions: Sequence[Action]) -> float:
+        """max_a Q(s, a) over the given actions."""
+        view = self._view(actions)
+        ids = view.ids_list
+        if not ids:
+            raise ValueError(f"no actions available in state {state!r}")
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = self.index.state_id(state)
+        if sid >= self._rows or view.max_id >= self._cols:
+            self._grow()
+        if view is self._g0_view:
+            g = self._g0.get(sid)
+        else:
+            self._g0_view = view
+            self._g0 = {}
+            g = None
+        if g is None:
+            base = sid * self._cols
+            g = _make_gather([base + aid for aid in ids])
+            self._g0[sid] = g
+        return max(g(self._flat))
+
+    def greedy_policy(
+        self, states_actions: Dict[State, List[Action]]
+    ) -> Dict[State, Action]:
+        """The greedy action for every state in ``states_actions``."""
+        return {
+            state: self.best_action(state, actions)
+            for state, actions in states_actions.items()
+        }
+
+    def known_pairs(self) -> List[Tuple[State, Action]]:
+        """All (state, action) pairs ever written (unordered)."""
+        states = self.index.states
+        actions = self.index.actions
+        cols = self._cols
+        return [
+            (states[off // cols], actions[off % cols])
+            for off, flag in enumerate(self._written)
+            if flag
+        ]
+
+    def copy(self) -> "DenseQTable":
+        """An independent snapshot (the append-only index is shared)."""
+        clone = DenseQTable(self.initial_value, index=self.index)
+        clone._flat = self._flat[:]
+        clone._written = self._written[:]
+        clone._rows = self._rows
+        clone._cols = self._cols
+        return clone
+
+    def max_abs_difference(self, other) -> float:
+        """sup-norm distance to ``other`` (sparse or dense) over either
+        table's written support."""
+        keys = set(self.known_pairs()) | set(other.known_pairs())
+        if not keys:
+            return 0.0
+        return max(
+            abs(self.value(s, a) - other.value(s, a))
+            for s, a in sorted(keys, key=repr)
+        )
+
+    def __len__(self) -> int:
+        return sum(self._written)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DenseQTable(entries={len(self)}, init={self.initial_value})"
+        )
+
+    # ------------------------------------------------------------------
+    # batched extensions
+
+    def action_values(
+        self, state: State, actions: Sequence[Action]
+    ) -> List[float]:
+        """``[Q(s, a) for a in actions]`` in the given order."""
+        view = self._view(actions)
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = self.index.state_id(state)
+        if sid >= self._rows or view.max_id >= self._cols:
+            self._grow()
+        key = (sid, view, 0)
+        g = self._gather.get(key)
+        if g is None:
+            base = sid * self._cols
+            g = _make_gather([base + aid for aid in view.ids_list])
+            self._gather[key] = g
+        return list(g(self._flat))
+
+    def action_values_sorted(
+        self, state: State, actions: Sequence[Action]
+    ) -> Tuple[List[float], Tuple[Action, ...]]:
+        """(values, actions), both in the deterministic repr order."""
+        view = self._view(actions)
+        sorted_ids = view.sorted_ids_list
+        if not sorted_ids:
+            raise ValueError(f"no actions available in state {state!r}")
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = self.index.state_id(state)
+        if sid >= self._rows or view.max_id >= self._cols:
+            self._grow()
+        key = (sid, view, 1)
+        g = self._gather.get(key)
+        if g is None:
+            base = sid * self._cols
+            g = _make_gather([base + aid for aid in sorted_ids])
+            self._gather[key] = g
+        return list(g(self._flat)), view.sorted_actions
+
+    def best_actions(
+        self, states: Sequence[State], actions: Sequence[Action]
+    ) -> List[Action]:
+        """The greedy action for every state in ``states``.
+
+        One batched NumPy argmax over the mirror for large batches;
+        a scalar first-max loop (the same comparison sequence, so the
+        same ties) below ``_VECTOR_MIN_ELEMENTS``.
+        """
+        view = self._view(actions)
+        sorted_ids = view.sorted_ids_list
+        if not sorted_ids:
+            raise ValueError("no actions available")
+        if not states:
+            return []
+        ids_get = self._state_ids.get
+        intern = self.index.state_id
+        sids = [ids_get(s) for s in states]
+        if None in sids:
+            sids = [intern(s) for s in states]
+        if max(sids) >= self._rows or view.max_id >= self._cols:
+            self._grow()
+        sorted_actions = view.sorted_actions
+        if len(sids) * len(sorted_ids) >= _VECTOR_MIN_ELEMENTS:
+            block = self.as_array()[np.asarray(sids, dtype=np.intp)]
+            block = block[:, view.sorted_ids]
+            return [
+                sorted_actions[i] for i in block.argmax(axis=1).tolist()
+            ]
+        flat = self._flat
+        cols = self._cols
+        gathers = self._gather
+        out = []
+        for sid in sids:
+            key = (sid, view, 1)
+            g = gathers.get(key)
+            if g is None:
+                base = sid * cols
+                g = _make_gather([base + a for a in sorted_ids])
+                gathers[key] = g
+            values = g(flat)
+            out.append(sorted_actions[values.index(max(values))])
+        return out
+
+    def argmax_prober(self, states: Sequence[State], actions: Sequence[Action]):
+        """A prebound, repeatable batched argmax over fixed inputs.
+
+        The trainer probes the same routine states with the same
+        action set every iteration; the returned zero-argument
+        callable bakes their flat offsets in (revalidating against
+        ``_grow_count``) so the per-call work is one C gather, one
+        ``max`` and one ``index`` per state.
+        """
+        return _ArgmaxProber(self, states, actions)
+
+
+class _ArgmaxProber:
+    """Batched first-max argmax with prebound flat offsets.
+
+    Built by :meth:`DenseQTable.argmax_prober` for a fixed state and
+    action sequence; tie-breaking matches :meth:`DenseQTable.
+    best_action` exactly (first maximum in repr order).
+    """
+
+    __slots__ = ("_q", "_sids", "_view", "_gathers", "_grows")
+
+    def __init__(
+        self,
+        q: DenseQTable,
+        states: Sequence[State],
+        actions: Sequence[Action],
+    ) -> None:
+        view = q._view(actions)
+        if not view.sorted_ids_list:
+            raise ValueError("no actions available")
+        index = q.index
+        self._q = q
+        self._view = view
+        self._sids = [index.state_id(s) for s in states]
+        self._gathers: List[object] = []
+        self._grows = -1
+
+    def _rebuild(self) -> None:
+        q = self._q
+        sids = self._sids
+        if sids and (
+            max(sids) >= q._rows or self._view.max_id >= q._cols
+        ):
+            q._grow()
+        cols = q._cols
+        ids = self._view.sorted_ids_list
+        self._gathers = [
+            _make_gather([sid * cols + a for a in ids]) for sid in sids
+        ]
+        self._grows = q._grow_count
+
+    def __call__(self) -> List[Action]:
+        q = self._q
+        if self._grows != q._grow_count:
+            self._rebuild()
+        flat = q._flat
+        sorted_actions = self._view.sorted_actions
+        out = []
+        for g in self._gathers:
+            values = g(flat)
+            out.append(sorted_actions[values.index(max(values))])
+        return out
+
+
+class DenseTraces:
+    """Eligibility traces over interned pair ids, as flat vectors.
+
+    Behaviour-compatible with
+    :class:`~repro.rl.traces.EligibilityTraces` (visit rules, decay,
+    cutoff drop, snapshot ``items()``), with the whole TD(λ) sweep
+    exposed as :meth:`apply_update`: ``Q[active] += coef * e[active]``
+    over precomputed flat offsets, no hashing, no snapshot copy.
+    """
+
+    __slots__ = (
+        "kind",
+        "cutoff",
+        "index",
+        "_slots",
+        "_pairs",
+        "_e",
+        "_state_ids",
+        "_action_ids",
+    )
+
+    def __init__(
+        self,
+        index: Optional[StateActionIndex] = None,
+        kind: TraceKind = TraceKind.REPLACING,
+        cutoff: float = 1e-4,
+    ) -> None:
+        if cutoff < 0:
+            raise ValueError("cutoff must be >= 0")
+        self.kind = kind
+        self.cutoff = cutoff
+        self.index = index if index is not None else StateActionIndex()
+        #: (state_id, action_id) -> position in the parallel vectors.
+        self._slots: Dict[Tuple[int, int], int] = {}
+        self._pairs: List[Tuple[int, int]] = []
+        self._e: List[float] = []
+        # Same in-place intern-dict shortcut as DenseQTable.
+        self._state_ids = self.index._state_ids
+        self._action_ids = self.index._action_ids
+
+    def visit(self, state: State, action: Action) -> None:
+        """Mark (s, a) as just visited."""
+        sid = self._state_ids.get(state)
+        if sid is None:
+            sid = self.index.state_id(state)
+        aid = self._action_ids.get(action)
+        if aid is None:
+            aid = self.index.action_id(action)
+        key = (sid, aid)
+        pos = self._slots.get(key)
+        if pos is None:
+            self._slots[key] = len(self._pairs)
+            self._pairs.append(key)
+            self._e.append(1.0)
+        elif self.kind is TraceKind.ACCUMULATING:
+            self._e[pos] += 1.0
+        else:
+            self._e[pos] = 1.0
+
+    def decay(self, factor: float) -> None:
+        """Multiply every trace by ``factor`` (= γλ), dropping tiny ones."""
+        if factor == 0.0:
+            self.reset()
+            return
+        old = self._e
+        if not old:
+            return
+        e = [v * factor for v in old]
+        self._e = e
+        if min(e) < self.cutoff:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop traces below the cutoff, preserving insertion order."""
+        e = self._e
+        cutoff = self.cutoff
+        pairs = self._pairs
+        new_slots: Dict[Tuple[int, int], int] = {}
+        new_pairs: List[Tuple[int, int]] = []
+        new_e: List[float] = []
+        for i in range(len(e)):
+            if e[i] >= cutoff:
+                new_slots[pairs[i]] = len(new_pairs)
+                new_pairs.append(pairs[i])
+                new_e.append(e[i])
+        self._slots = new_slots
+        self._pairs = new_pairs
+        self._e = new_e
+
+    def get(self, state: State, action: Action) -> float:
+        """Current trace of (s, a) (0.0 if inactive)."""
+        key = (self.index.state_id(state), self.index.action_id(action))
+        pos = self._slots.get(key)
+        return self._e[pos] if pos is not None else 0.0
+
+    def reset(self) -> None:
+        """Clear all traces (start of episode, or Watkins cut)."""
+        self._slots = {}
+        self._pairs = []
+        self._e = []
+
+    def items(self) -> Iterator[Tuple[Tuple[State, Action], float]]:
+        """Iterate over a snapshot of active (key, trace) pairs."""
+        states = self.index.states
+        actions = self.index.actions
+        return iter(
+            [
+                ((states[sid], actions[aid]), self._e[i])
+                for i, (sid, aid) in enumerate(self._pairs)
+            ]
+        )
+
+    def apply_update(self, q, coef: float) -> None:
+        """``Q[pair] += coef * e[pair]`` for every active pair.
+
+        Straight into the flat buffer when ``q`` is a
+        :class:`DenseQTable` on the same index; a plain loop through
+        ``q.add`` otherwise.  Elementwise multiply-then-add per
+        independent pair, in insertion (first-visit) order --
+        bit-identical to the sparse backend's per-pair arithmetic.
+        """
+        pairs = self._pairs
+        if not pairs:
+            return
+        e = self._e
+        if type(q) is DenseQTable and q.index is self.index:
+            q._ensure_capacity()
+            flat = q._flat
+            written = q._written
+            cols = q._cols
+            for i, (sid, aid) in enumerate(pairs):
+                off = sid * cols + aid
+                flat[off] = flat[off] + coef * e[i]
+                written[off] = 1
+            q._array = None
+            return
+        states = self.index.states
+        actions = self.index.actions
+        for i, (sid, aid) in enumerate(pairs):
+            q.add(states[sid], actions[aid], coef * e[i])
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DenseTraces({self.kind.value}, active={len(self._pairs)})"
+
+
+# ---------------------------------------------------------------------------
+# backend selection
+
+
+def make_qtable(
+    backend: str,
+    initial_value: float = 0.0,
+    index: Optional[StateActionIndex] = None,
+):
+    """A Q-table of the requested backend (``"dense"`` | ``"sparse"``)."""
+    if backend == "dense":
+        return DenseQTable(initial_value, index=index)
+    if backend == "sparse":
+        return QTable(initial_value)
+    raise ValueError(f"unknown q_backend {backend!r}")
+
+
+def make_traces(q, kind: TraceKind = TraceKind.REPLACING):
+    """Eligibility traces matching the backend of ``q``."""
+    if isinstance(q, DenseQTable):
+        return DenseTraces(index=q.index, kind=kind)
+    return EligibilityTraces(kind=kind)

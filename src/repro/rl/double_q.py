@@ -17,8 +17,8 @@ from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.rl.dense import StateActionIndex, make_qtable
 from repro.rl.policies import EpsilonGreedyPolicy, Policy
-from repro.rl.qtable import QTable
 from repro.rl.schedules import ConstantSchedule, Schedule
 
 __all__ = ["DoubleQLearner"]
@@ -36,6 +36,7 @@ class DoubleQLearner:
         discount: float = 0.9,
         policy: Optional[Policy] = None,
         initial_q: float = 0.0,
+        q_backend: str = "dense",
     ) -> None:
         if not 0.0 <= discount < 1.0:
             raise ValueError("discount must be in [0, 1)")
@@ -45,8 +46,11 @@ class DoubleQLearner:
             self.learning_rate_schedule = ConstantSchedule(float(learning_rate))
         self.discount = float(discount)
         self.policy: Policy = policy if policy is not None else EpsilonGreedyPolicy(0.2)
-        self.q_a = QTable(initial_value=initial_q)
-        self.q_b = QTable(initial_value=initial_q)
+        # On the dense backend both tables share one index so states,
+        # actions and cached action views are interned exactly once.
+        index = StateActionIndex() if q_backend == "dense" else None
+        self.q_a = make_qtable(q_backend, initial_q, index=index)
+        self.q_b = make_qtable(q_backend, initial_q, index=index)
         # The behaviour-facing combined table (mean of both).
         self.q = _MeanQView(self.q_a, self.q_b)
         self.updates = 0
@@ -64,11 +68,17 @@ class DoubleQLearner:
         step: int = 0,
     ) -> Tuple[Action, bool]:
         """Behaviour action from the combined value view."""
-        return self.policy.select(self.q, state, list(actions), rng, step=step)
+        return self.policy.select(self.q, state, actions, rng, step=step)
 
     def greedy_action(self, state: State, actions: Sequence[Action]) -> Action:
         """Greedy action under the combined view."""
-        return self.q.best_action(state, list(actions))
+        return self.q.best_action(state, actions)
+
+    def greedy_actions(
+        self, states: Sequence[State], actions: Sequence[Action]
+    ) -> Sequence[Action]:
+        """Greedy action per state under the combined view."""
+        return self.q.best_actions(states, actions)
 
     def observe(
         self,
@@ -96,7 +106,7 @@ class DoubleQLearner:
         if done or not next_actions:
             target = reward
         else:
-            best = update_table.best_action(next_state, list(next_actions))
+            best = update_table.best_action(next_state, next_actions)
             target = reward + self.discount * eval_table.value(next_state, best)
         delta = target - update_table.value(state, action)
         alpha = self.learning_rate_schedule.value(self.updates)
@@ -109,25 +119,41 @@ class DoubleQLearner:
 
 
 class _MeanQView:
-    """A read-only QTable facade averaging two tables."""
+    """A read-only QTable facade averaging two tables.
 
-    def __init__(self, q_a: QTable, q_b: QTable) -> None:
+    Backend-independent by construction: both backends return plain
+    Python floats from ``action_values_sorted`` in the same repr
+    order, so the per-element ``0.5 * (a + b)`` and the first-max
+    scan produce the same IEEE-754 results and the same ties either
+    way.
+    """
+
+    __slots__ = ("_q_a", "_q_b")
+
+    def __init__(self, q_a, q_b) -> None:
         self._q_a = q_a
         self._q_b = q_b
 
     def value(self, state: State, action: Action) -> float:
         return 0.5 * (self._q_a.value(state, action) + self._q_b.value(state, action))
 
+    def action_values_sorted(self, state: State, actions):
+        raw_a, ordered = self._q_a.action_values_sorted(state, actions)
+        raw_b, _ = self._q_b.action_values_sorted(state, actions)
+        return [0.5 * (a + b) for a, b in zip(raw_a, raw_b)], ordered
+
     def best_action(self, state: State, actions) -> Action:
-        best = None
-        best_value = float("-inf")
-        for action in sorted(actions, key=repr):
-            value = self.value(state, action)
-            if value > best_value:
-                best, best_value = action, value
-        if best is None:
-            raise ValueError(f"no actions available in state {state!r}")
-        return best
+        values, ordered = self.action_values_sorted(state, actions)
+        best_i = 0
+        best_value = values[0]
+        for i in range(1, len(values)):
+            if values[i] > best_value:
+                best_value = values[i]
+                best_i = i
+        return ordered[best_i]
+
+    def best_actions(self, states, actions):
+        return [self.best_action(state, actions) for state in states]
 
     def max_value(self, state: State, actions) -> float:
         values = [self.value(state, a) for a in actions]

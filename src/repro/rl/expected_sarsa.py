@@ -16,8 +16,8 @@ from typing import Hashable, Sequence, Tuple
 
 import numpy as np
 
+from repro.rl.dense import DenseQTable, _make_gather, make_qtable
 from repro.rl.policies import EpsilonGreedyPolicy
-from repro.rl.qtable import QTable
 from repro.rl.schedules import ConstantSchedule, Schedule
 
 __all__ = ["ExpectedSarsaLearner"]
@@ -35,6 +35,7 @@ class ExpectedSarsaLearner:
         discount: float = 0.9,
         epsilon: float = 0.2,
         initial_q: float = 0.0,
+        q_backend: str = "dense",
     ) -> None:
         if not 0.0 <= discount < 1.0:
             raise ValueError("discount must be in [0, 1)")
@@ -44,10 +45,18 @@ class ExpectedSarsaLearner:
             self.learning_rate_schedule: Schedule = learning_rate
         else:
             self.learning_rate_schedule = ConstantSchedule(float(learning_rate))
+        # Constant learning rates (the common case) skip the schedule
+        # call on every transition.
+        self._alpha_const = (
+            self.learning_rate_schedule.constant
+            if type(self.learning_rate_schedule) is ConstantSchedule
+            else None
+        )
         self.discount = float(discount)
         self.epsilon = float(epsilon)
         self.policy = EpsilonGreedyPolicy(epsilon)
-        self.q = QTable(initial_value=initial_q)
+        self.q = make_qtable(q_backend, initial_q)
+        self._dense = type(self.q) is DenseQTable
         self.updates = 0
         self.episodes = 0
 
@@ -63,18 +72,28 @@ class ExpectedSarsaLearner:
         step: int = 0,
     ) -> Tuple[Action, bool]:
         """ε-greedy behaviour action."""
-        return self.policy.select(self.q, state, list(actions), rng, step=step)
+        return self.policy.select(self.q, state, actions, rng, step=step)
 
     def greedy_action(self, state: State, actions: Sequence[Action]) -> Action:
         """Current greedy action."""
-        return self.q.best_action(state, list(actions))
+        return self.q.best_action(state, actions)
+
+    def greedy_actions(
+        self, states: Sequence[State], actions: Sequence[Action]
+    ) -> Sequence[Action]:
+        """Greedy action per state (batched argmax on the dense backend)."""
+        return self.q.best_actions(states, actions)
 
     def expected_value(self, state: State, actions: Sequence[Action]) -> float:
-        """E_π[Q(state, ·)] under the ε-greedy policy."""
-        actions = list(actions)
+        """E_π[Q(state, ·)] under the ε-greedy policy.
+
+        The mean is taken with Python's left-to-right ``sum`` on both
+        backends -- NumPy's pairwise summation rounds differently, and
+        the backends must agree bit-for-bit.
+        """
         if not actions:
             raise ValueError(f"no actions available in state {state!r}")
-        values = [self.q.value(state, a) for a in actions]
+        values = self.q.action_values(state, actions)
         greedy = max(values)
         uniform = sum(values) / len(values)
         return (1.0 - self.epsilon) * greedy + self.epsilon * uniform
@@ -90,15 +109,75 @@ class ExpectedSarsaLearner:
         exploratory: bool = False,
     ) -> float:
         """One Expected SARSA update; returns the TD error."""
-        if done or not next_actions:
-            target = reward
+        alpha = self._alpha_const
+        if alpha is None:
+            alpha = self.learning_rate_schedule.value(self.updates)
+        if self._dense:
+            # Fused against the dense flat buffer (see
+            # TDLambdaQLearner.observe).  The expectation runs over the
+            # given-order gather -- the same value sequence
+            # q.action_values returns -- with Python's left-to-right
+            # max/sum, so both paths are bit-identical.
+            q = self.q
+            index = q.index
+            sid = q._state_ids.get(state)
+            if sid is None:
+                sid = index.state_id(state)
+            aid = q._action_ids.get(action)
+            if aid is None:
+                aid = index.action_id(action)
+            view = None
+            next_sid = -1
+            if not done and next_actions:
+                next_sid = q._state_ids.get(next_state)
+                if next_sid is None:
+                    next_sid = index.state_id(next_state)
+                view = q._view(
+                    next_actions
+                    if type(next_actions) is tuple
+                    else tuple(next_actions)
+                )
+            if (
+                sid >= q._rows
+                or next_sid >= q._rows
+                or aid >= q._cols
+                or (view is not None and view.max_id >= q._cols)
+            ):
+                q._grow()
+            cols = q._cols
+            flat = q._flat
+            if view is None:
+                target = reward
+            else:
+                if view is q._g0_view:
+                    g = q._g0.get(next_sid)
+                else:
+                    q._g0_view = view
+                    q._g0 = {}
+                    g = None
+                if g is None:
+                    base = next_sid * cols
+                    g = _make_gather([base + a for a in view.ids_list])
+                    q._g0[next_sid] = g
+                values = g(flat)
+                greedy = max(values)
+                uniform = sum(values) / len(values)
+                expected = (1.0 - self.epsilon) * greedy + self.epsilon * uniform
+                target = reward + self.discount * expected
+            off = sid * cols + aid
+            delta = target - flat[off]
+            flat[off] = flat[off] + alpha * delta
+            q._written[off] = 1
+            q._array = None
         else:
-            target = reward + self.discount * self.expected_value(
-                next_state, next_actions
-            )
-        delta = target - self.q.value(state, action)
-        alpha = self.learning_rate_schedule.value(self.updates)
-        self.q.add(state, action, alpha * delta)
+            if done or not next_actions:
+                target = reward
+            else:
+                target = reward + self.discount * self.expected_value(
+                    next_state, next_actions
+                )
+            delta = target - self.q.value(state, action)
+            self.q.add(state, action, alpha * delta)
         self.updates += 1
         return delta
 

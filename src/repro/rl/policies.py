@@ -69,6 +69,13 @@ class EpsilonGreedyPolicy(Policy):
             if not 0.0 <= value <= 1.0:
                 raise ValueError("epsilon must be in [0, 1]")
             self.epsilon_schedule = ConstantSchedule(value)
+        # Constant ε (the common case) skips the schedule call on
+        # every selection.
+        self._eps_const = (
+            self.epsilon_schedule.constant
+            if type(self.epsilon_schedule) is ConstantSchedule
+            else None
+        )
 
     def select(
         self,
@@ -78,11 +85,12 @@ class EpsilonGreedyPolicy(Policy):
         rng: np.random.Generator,
         step: int = 0,
     ) -> Tuple[Action, bool]:
-        actions = list(actions)
         if not actions:
             raise ValueError(f"no actions available in state {state!r}")
         greedy = q.best_action(state, actions)
-        epsilon = self.epsilon_schedule.value(step)
+        epsilon = self._eps_const
+        if epsilon is None:
+            epsilon = self.epsilon_schedule.value(step)
         if rng.random() < epsilon:
             choice = actions[int(rng.integers(len(actions)))]
             return choice, choice != greedy
@@ -113,15 +121,15 @@ class SoftmaxPolicy(Policy):
         rng: np.random.Generator,
         step: int = 0,
     ) -> Tuple[Action, bool]:
-        actions = sorted(actions, key=repr)
-        if not actions:
-            raise ValueError(f"no actions available in state {state!r}")
+        raw, ordered = q.action_values_sorted(state, actions)
+        values = np.asarray(raw, dtype=float)
         temperature = max(self.temperature_schedule.value(step), 1e-8)
-        values = np.array([q.value(state, a) for a in actions], dtype=float)
         logits = (values - values.max()) / temperature
         probabilities = np.exp(logits)
         probabilities /= probabilities.sum()
-        index = int(rng.choice(len(actions), p=probabilities))
-        choice = actions[index]
-        greedy = q.best_action(state, actions)
+        index = int(rng.choice(len(ordered), p=probabilities))
+        choice = ordered[index]
+        # First max in the shared repr order = q.best_action's greedy
+        # choice, without paying a second sort.
+        greedy = ordered[int(values.argmax())]
         return choice, choice != greedy

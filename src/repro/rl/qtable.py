@@ -8,7 +8,7 @@ a property the learning-curve experiments rely on.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["QTable"]
 
@@ -53,12 +53,43 @@ class QTable:
             raise ValueError(f"no actions available in state {state!r}")
         return best
 
+    def best_actions(
+        self, states: Sequence[State], actions: Sequence[Action]
+    ) -> List[Action]:
+        """The greedy action for every state in ``states``.
+
+        The dense backend services this with one batched argmax; here
+        it is the plain per-state loop, kept API-compatible so callers
+        can probe a whole routine through either backend.
+        """
+        return [self.best_action(state, actions) for state in states]
+
     def max_value(self, state: State, actions: Iterable[Action]) -> float:
         """max_a Q(s, a) over the given actions."""
         values = [self.value(state, a) for a in actions]
         if not values:
             raise ValueError(f"no actions available in state {state!r}")
         return max(values)
+
+    def action_values(
+        self, state: State, actions: Sequence[Action]
+    ) -> List[float]:
+        """``[Q(s, a) for a in actions]`` in the given order."""
+        return [self.value(state, a) for a in actions]
+
+    def action_values_sorted(
+        self, state: State, actions: Sequence[Action]
+    ) -> Tuple[List[float], Tuple[Action, ...]]:
+        """(values, actions), both in the deterministic repr order.
+
+        This is the tie-break order :meth:`best_action` uses, exposed
+        so policies that need the full value vector (softmax) sort
+        once and share the order instead of sorting twice.
+        """
+        ordered = tuple(sorted(actions, key=repr))
+        if not ordered:
+            raise ValueError(f"no actions available in state {state!r}")
+        return [self.value(state, a) for a in ordered], ordered
 
     def greedy_policy(
         self, states_actions: Dict[State, List[Action]]
@@ -79,14 +110,14 @@ class QTable:
         clone._q = dict(self._q)
         return clone
 
-    def max_abs_difference(self, other: "QTable") -> float:
-        """sup-norm distance between two tables (over either's support)."""
-        keys = set(self._q) | set(other._q)
+    def max_abs_difference(self, other) -> float:
+        """sup-norm distance to ``other`` (sparse or dense backend),
+        over either table's written support."""
+        keys = set(self._q) | set(other.known_pairs())
         if not keys:
             return 0.0
         return max(
-            abs(self._q.get(k, self.initial_value) - other._q.get(k, other.initial_value))
-            for k in keys
+            abs(self.value(s, a) - other.value(s, a)) for s, a in keys
         )
 
     def __len__(self) -> int:

@@ -17,10 +17,10 @@ from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.rl.dense import DenseQTable, DenseTraces, make_qtable, make_traces
 from repro.rl.policies import EpsilonGreedyPolicy, Policy
-from repro.rl.qtable import QTable
 from repro.rl.schedules import ConstantSchedule, Schedule
-from repro.rl.traces import EligibilityTraces, TraceKind
+from repro.rl.traces import TraceKind
 
 __all__ = ["SarsaLambdaLearner"]
 
@@ -39,6 +39,7 @@ class SarsaLambdaLearner:
         policy: Optional[Policy] = None,
         trace_kind: TraceKind = TraceKind.REPLACING,
         initial_q: float = 0.0,
+        q_backend: str = "dense",
     ) -> None:
         if not 0.0 <= discount < 1.0:
             raise ValueError("discount must be in [0, 1)")
@@ -48,11 +49,27 @@ class SarsaLambdaLearner:
             self.learning_rate_schedule: Schedule = learning_rate
         else:
             self.learning_rate_schedule = ConstantSchedule(float(learning_rate))
+        # Constant learning rates (the common case) skip the schedule
+        # call on every transition.
+        self._alpha_const = (
+            self.learning_rate_schedule.constant
+            if type(self.learning_rate_schedule) is ConstantSchedule
+            else None
+        )
         self.discount = float(discount)
         self.trace_decay = float(trace_decay)
+        # γλ, computed once -- the per-transition trace decay factor.
+        self._glambda = self.discount * self.trace_decay
         self.policy: Policy = policy if policy is not None else EpsilonGreedyPolicy(0.2)
-        self.q = QTable(initial_value=initial_q)
-        self.traces = EligibilityTraces(kind=trace_kind)
+        self.q = make_qtable(q_backend, initial_q)
+        self.traces = make_traces(self.q, trace_kind)
+        # The fused dense update requires the table and traces to
+        # share one index so interned ids mean the same thing in both.
+        self._dense = (
+            type(self.q) is DenseQTable
+            and type(self.traces) is DenseTraces
+            and self.traces.index is self.q.index
+        )
         self.updates = 0
         self.episodes = 0
 
@@ -69,11 +86,17 @@ class SarsaLambdaLearner:
         step: int = 0,
     ) -> Tuple[Action, bool]:
         """Behaviour-policy action for ``state``."""
-        return self.policy.select(self.q, state, list(actions), rng, step=step)
+        return self.policy.select(self.q, state, actions, rng, step=step)
 
     def greedy_action(self, state: State, actions: Sequence[Action]) -> Action:
         """The current greedy action."""
-        return self.q.best_action(state, list(actions))
+        return self.q.best_action(state, actions)
+
+    def greedy_actions(
+        self, states: Sequence[State], actions: Sequence[Action]
+    ) -> Sequence[Action]:
+        """Greedy action per state (batched argmax on the dense backend)."""
+        return self.q.best_actions(states, actions)
 
     def observe(
         self,
@@ -89,18 +112,88 @@ class SarsaLambdaLearner:
         ``next_action`` is the action the behaviour policy *will* take
         in ``next_state`` (ignored when ``done``).
         """
-        if done:
-            target = reward
+        alpha = self._alpha_const
+        if alpha is None:
+            alpha = self.learning_rate_schedule.value(self.updates)
+        if not done and next_action is None:
+            raise ValueError("next_action is required for non-terminal updates")
+        if self._dense:
+            # The SARSA(λ) update fused against the dense flat buffer
+            # (see TDLambdaQLearner.observe): the bootstrap is a single
+            # offset read and the trace visit/apply/decay run inline
+            # over the active pairs in first-visit order, so the
+            # arithmetic is exactly the sparse backend's.
+            q = self.q
+            traces = self.traces
+            index = q.index
+            sid = q._state_ids.get(state)
+            if sid is None:
+                sid = index.state_id(state)
+            aid = q._action_ids.get(action)
+            if aid is None:
+                aid = index.action_id(action)
+            next_sid = -1
+            next_aid = -1
+            if not done:
+                next_sid = q._state_ids.get(next_state)
+                if next_sid is None:
+                    next_sid = index.state_id(next_state)
+                next_aid = q._action_ids.get(next_action)
+                if next_aid is None:
+                    next_aid = index.action_id(next_action)
+            if (
+                sid >= q._rows
+                or next_sid >= q._rows
+                or aid >= q._cols
+                or next_aid >= q._cols
+            ):
+                q._grow()
+            cols = q._cols
+            flat = q._flat
+            written = q._written
+            if done:
+                target = reward
+            else:
+                target = reward + self.discount * flat[next_sid * cols + next_aid]
+            delta = target - flat[sid * cols + aid]
+            key = (sid, aid)
+            slots = traces._slots
+            pos = slots.get(key)
+            if pos is None:
+                slots[key] = len(traces._pairs)
+                traces._pairs.append(key)
+                traces._e.append(1.0)
+            elif traces.kind is TraceKind.ACCUMULATING:
+                traces._e[pos] += 1.0
+            else:
+                traces._e[pos] = 1.0
+            coef = alpha * delta
+            gl = self._glambda
+            new_e = []
+            push = new_e.append
+            for (psid, paid), ev in zip(traces._pairs, traces._e):
+                poff = psid * cols + paid
+                flat[poff] = flat[poff] + coef * ev
+                written[poff] = 1
+                push(ev * gl)
+            if gl == 0.0:
+                traces.reset()
+            else:
+                traces._e = new_e
+                if min(new_e) < traces.cutoff:
+                    traces._compact()
+            q._array = None
         else:
-            if next_action is None:
-                raise ValueError("next_action is required for non-terminal updates")
-            target = reward + self.discount * self.q.value(next_state, next_action)
-        delta = target - self.q.value(state, action)
-        self.traces.visit(state, action)
-        alpha = self.learning_rate_schedule.value(self.updates)
-        for (trace_state, trace_action), eligibility in self.traces.items():
-            self.q.add(trace_state, trace_action, alpha * delta * eligibility)
-        self.traces.decay(self.discount * self.trace_decay)
+            if done:
+                target = reward
+            else:
+                target = reward + self.discount * self.q.value(
+                    next_state, next_action
+                )
+            delta = target - self.q.value(state, action)
+            self.traces.visit(state, action)
+            self.traces.apply_update(self.q, alpha * delta)
+            self.traces.decay(self.discount * self.trace_decay)
         if done:
             self.traces.reset()
         self.updates += 1

@@ -27,10 +27,16 @@ from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.rl.dense import (
+    DenseQTable,
+    DenseTraces,
+    _make_gather,
+    make_qtable,
+    make_traces,
+)
 from repro.rl.policies import EpsilonGreedyPolicy, Policy
-from repro.rl.qtable import QTable
 from repro.rl.schedules import ConstantSchedule, Schedule
-from repro.rl.traces import EligibilityTraces, TraceKind
+from repro.rl.traces import TraceKind
 
 __all__ = ["TDLambdaQLearner"]
 
@@ -49,6 +55,7 @@ class TDLambdaQLearner:
         policy: Optional[Policy] = None,
         trace_kind: TraceKind = TraceKind.REPLACING,
         initial_q: float = 0.0,
+        q_backend: str = "dense",
     ) -> None:
         if not 0.0 <= discount < 1.0:
             raise ValueError("discount must be in [0, 1)")
@@ -58,11 +65,27 @@ class TDLambdaQLearner:
             self.learning_rate_schedule: Schedule = learning_rate
         else:
             self.learning_rate_schedule = ConstantSchedule(float(learning_rate))
+        # Constant learning rates (the common case) skip the schedule
+        # call on every transition.
+        self._alpha_const = (
+            self.learning_rate_schedule.constant
+            if type(self.learning_rate_schedule) is ConstantSchedule
+            else None
+        )
         self.discount = float(discount)
         self.trace_decay = float(trace_decay)
+        # γλ, computed once -- the per-transition trace decay factor.
+        self._glambda = self.discount * self.trace_decay
         self.policy: Policy = policy if policy is not None else EpsilonGreedyPolicy(0.2)
-        self.q = QTable(initial_value=initial_q)
-        self.traces = EligibilityTraces(kind=trace_kind)
+        self.q = make_qtable(q_backend, initial_q)
+        self.traces = make_traces(self.q, trace_kind)
+        # The fused dense update requires the table and traces to
+        # share one index so interned ids mean the same thing in both.
+        self._dense = (
+            type(self.q) is DenseQTable
+            and type(self.traces) is DenseTraces
+            and self.traces.index is self.q.index
+        )
         self.updates = 0
         self.episodes = 0
 
@@ -79,11 +102,17 @@ class TDLambdaQLearner:
         step: int = 0,
     ) -> Tuple[Action, bool]:
         """Behaviour-policy action for ``state``; see Policy.select."""
-        return self.policy.select(self.q, state, list(actions), rng, step=step)
+        return self.policy.select(self.q, state, actions, rng, step=step)
 
     def greedy_action(self, state: State, actions: Sequence[Action]) -> Action:
         """The current greedy (target-policy) action."""
-        return self.q.best_action(state, list(actions))
+        return self.q.best_action(state, actions)
+
+    def greedy_actions(
+        self, states: Sequence[State], actions: Sequence[Action]
+    ) -> Sequence[Action]:
+        """Greedy action per state (batched argmax on the dense backend)."""
+        return self.q.best_actions(states, actions)
 
     def observe(
         self,
@@ -101,22 +130,118 @@ class TDLambdaQLearner:
         the target (greedy) policy.  Such updates touch only the
         executed pair and reset the traces (strict Watkins cut).
         """
-        if done:
-            target = reward
+        alpha = self._alpha_const
+        if alpha is None:
+            alpha = self.learning_rate_schedule.value(self.updates)
+        if self._dense:
+            # The Watkins update fused against the dense flat buffer:
+            # each state/action interned once, one capacity guard, the
+            # trace visit/update applied inline.  The arithmetic (max
+            # over given-order Python floats, per-pair multiply-then-
+            # add in first-visit order) is exactly the sparse
+            # backend's, so both paths are bit-identical.
+            q = self.q
+            traces = self.traces
+            index = q.index
+            sid = q._state_ids.get(state)
+            if sid is None:
+                sid = index.state_id(state)
+            aid = q._action_ids.get(action)
+            if aid is None:
+                aid = index.action_id(action)
+            view = None
+            next_sid = -1
+            if not done:
+                next_sid = q._state_ids.get(next_state)
+                if next_sid is None:
+                    next_sid = index.state_id(next_state)
+                view = q._view(
+                    next_actions
+                    if type(next_actions) is tuple
+                    else tuple(next_actions)
+                )
+            if (
+                sid >= q._rows
+                or next_sid >= q._rows
+                or aid >= q._cols
+                or (view is not None and view.max_id >= q._cols)
+            ):
+                q._grow()
+            cols = q._cols
+            flat = q._flat
+            written = q._written
+            if done:
+                target = reward
+            else:
+                ids = view.ids_list
+                if not ids:
+                    raise ValueError(
+                        f"no actions available in state {next_state!r}"
+                    )
+                if view is q._g0_view:
+                    g = q._g0.get(next_sid)
+                else:
+                    q._g0_view = view
+                    q._g0 = {}
+                    g = None
+                if g is None:
+                    base = next_sid * cols
+                    g = _make_gather([base + a for a in ids])
+                    q._g0[next_sid] = g
+                target = reward + self.discount * max(g(flat))
+            off = sid * cols + aid
+            delta = target - flat[off]
+            if exploratory:
+                flat[off] = flat[off] + alpha * delta
+                written[off] = 1
+                traces.reset()
+            else:
+                key = (sid, aid)
+                slots = traces._slots
+                pos = slots.get(key)
+                if pos is None:
+                    slots[key] = len(traces._pairs)
+                    traces._pairs.append(key)
+                    traces._e.append(1.0)
+                elif traces.kind is TraceKind.ACCUMULATING:
+                    traces._e[pos] += 1.0
+                else:
+                    traces._e[pos] = 1.0
+                # Apply and decay fused into one pass over the active
+                # pairs: Q[pair] += coef*e (same per-pair arithmetic
+                # and order as traces.apply_update) while building the
+                # decayed trace vector (same multiply as traces.decay).
+                coef = alpha * delta
+                gl = self._glambda
+                new_e = []
+                push = new_e.append
+                for (psid, paid), ev in zip(traces._pairs, traces._e):
+                    poff = psid * cols + paid
+                    flat[poff] = flat[poff] + coef * ev
+                    written[poff] = 1
+                    push(ev * gl)
+                if gl == 0.0:
+                    traces.reset()
+                else:
+                    traces._e = new_e
+                    if min(new_e) < traces.cutoff:
+                        traces._compact()
+            q._array = None
         else:
-            target = reward + self.discount * self.q.max_value(
-                next_state, list(next_actions)
-            )
-        delta = target - self.q.value(state, action)
-        alpha = self.learning_rate_schedule.value(self.updates)
-        if exploratory:
-            self.q.add(state, action, alpha * delta)
-            self.traces.reset()
-        else:
-            self.traces.visit(state, action)
-            for (trace_state, trace_action), eligibility in self.traces.items():
-                self.q.add(trace_state, trace_action, alpha * delta * eligibility)
-            self.traces.decay(self.discount * self.trace_decay)
+            if done:
+                target = reward
+            else:
+                target = reward + self.discount * self.q.max_value(
+                    next_state, next_actions
+                )
+            delta = target - self.q.value(state, action)
+            if exploratory:
+                self.q.add(state, action, alpha * delta)
+                self.traces.reset()
+            else:
+                self.traces.visit(state, action)
+                self.traces.apply_update(self.q, alpha * delta)
+                self.traces.decay(self.discount * self.trace_decay)
         if done:
             self.traces.reset()
         self.updates += 1

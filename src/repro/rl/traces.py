@@ -79,6 +79,18 @@ class EligibilityTraces:
         """
         return iter(list(self._traces.items()))
 
+    def apply_update(self, q, coef: float) -> None:
+        """``Q[pair] += coef * e[pair]`` for every active pair.
+
+        The TD(λ) sweep, done here so the hot path iterates the live
+        dict directly -- ``q.add`` never mutates the traces, so the
+        defensive snapshot :meth:`items` takes is pure overhead.
+        ``coef`` is the precomputed ``α·δ`` so the multiplication
+        order matches the historical ``α·δ·e`` exactly.
+        """
+        for (state, action), eligibility in self._traces.items():
+            q.add(state, action, coef * eligibility)
+
     def __len__(self) -> int:
         return len(self._traces)
 

@@ -1,0 +1,440 @@
+"""The indexed dense RL backend and its bit-identity contract.
+
+The dense backend (``repro.rl.dense``) must be *indistinguishable*
+from the sparse dict-backed one: same RNG draw sequence, same learning
+curves, same convergence iterations, same greedy policies and the same
+``training_document`` bytes, for every learner.  These tests pin that
+contract down -- any arithmetic reordering in the fused dense paths
+shows up here as a float mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import PlanningConfig
+from repro.planning.action import action_space
+from repro.planning.rewards_coreda import CoReDAReward
+from repro.planning.state import episode_states
+from repro.planning.store import (
+    PolicyCache,
+    train_routine_cached,
+    training_cache_key,
+    training_document,
+)
+from repro.planning.trainer import RoutineTrainer
+from repro.rl.dense import (
+    DenseQTable,
+    DenseTraces,
+    StateActionIndex,
+    make_qtable,
+    make_traces,
+)
+from repro.rl.double_q import DoubleQLearner
+from repro.rl.dyna import DynaQLearner
+from repro.rl.expected_sarsa import ExpectedSarsaLearner
+from repro.rl.policies import EpsilonGreedyPolicy, SoftmaxPolicy
+from repro.rl.qtable import QTable
+from repro.rl.sarsa import SarsaLambdaLearner
+from repro.rl.schedules import ExponentialDecay
+from repro.rl.tdlambda import TDLambdaQLearner
+from repro.rl.traces import TraceKind
+from repro.sim.random import seeded_generator
+
+EPISODES = 60
+
+#: learner name -> factory(backend, config); covers every learner the
+#: evaluation suite trains, in both trace flavours where applicable.
+LEARNERS = {
+    "tdlambda-replacing": lambda backend, c: TDLambdaQLearner(
+        learning_rate=c.learning_rate, discount=c.discount,
+        trace_decay=c.trace_decay, policy=_decay_policy(c),
+        trace_kind=TraceKind.REPLACING, initial_q=c.initial_q,
+        q_backend=backend,
+    ),
+    "tdlambda-accumulating": lambda backend, c: TDLambdaQLearner(
+        learning_rate=c.learning_rate, discount=c.discount,
+        trace_decay=c.trace_decay, policy=_decay_policy(c),
+        trace_kind=TraceKind.ACCUMULATING, initial_q=c.initial_q,
+        q_backend=backend,
+    ),
+    "tdlambda-softmax": lambda backend, c: TDLambdaQLearner(
+        learning_rate=c.learning_rate, discount=c.discount,
+        trace_decay=c.trace_decay, policy=SoftmaxPolicy(50.0),
+        initial_q=c.initial_q, q_backend=backend,
+    ),
+    "dyna": lambda backend, c: DynaQLearner(
+        learning_rate=c.learning_rate, discount=c.discount,
+        planning_steps=10, policy=_decay_policy(c),
+        initial_q=c.initial_q, q_backend=backend,
+    ),
+    "double-q": lambda backend, c: DoubleQLearner(
+        learning_rate=c.learning_rate, discount=c.discount,
+        policy=_decay_policy(c), initial_q=c.initial_q, q_backend=backend,
+    ),
+    "expected-sarsa": lambda backend, c: ExpectedSarsaLearner(
+        learning_rate=c.learning_rate, discount=c.discount,
+        epsilon=0.2, initial_q=c.initial_q, q_backend=backend,
+    ),
+}
+
+
+def _decay_policy(config: PlanningConfig) -> EpsilonGreedyPolicy:
+    return EpsilonGreedyPolicy(
+        ExponentialDecay(config.epsilon, config.epsilon_decay)
+    )
+
+
+def _train(adl, learner_name: str, backend: str, seed: int):
+    config = PlanningConfig(q_backend=backend)
+    learner = LEARNERS[learner_name](backend, config)
+    trainer = RoutineTrainer(
+        adl, config, learner=learner, rng=seeded_generator(seed)
+    )
+    return trainer.train([list(adl.step_ids)] * EPISODES)
+
+
+def _sup_norm(learner_a, learner_b) -> float:
+    if isinstance(learner_a, DoubleQLearner):
+        return max(
+            learner_a.q_a.max_abs_difference(learner_b.q_a),
+            learner_a.q_b.max_abs_difference(learner_b.q_b),
+        )
+    return learner_a.q.max_abs_difference(learner_b.q)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity across backends, every learner
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("learner_name", sorted(LEARNERS))
+@pytest.mark.parametrize("seed", [0, 3])
+def test_backends_train_identically(tea_adl, learner_name, seed):
+    sparse = _train(tea_adl, learner_name, "sparse", seed)
+    dense = _train(tea_adl, learner_name, "dense", seed)
+    # Exact float equality, not approx: the contract is bit-identity.
+    assert sparse.curve.behaviour_accuracy == dense.curve.behaviour_accuracy
+    assert sparse.curve.smoothed_accuracy == dense.curve.smoothed_accuracy
+    assert sparse.curve.greedy_accuracy == dense.curve.greedy_accuracy
+    assert sparse.curve.minimal_fraction == dense.curve.minimal_fraction
+    assert sparse.convergence == dense.convergence
+    assert _sup_norm(sparse.learner, dense.learner) == 0.0
+
+
+@pytest.mark.parametrize(
+    "trace_kind", [TraceKind.REPLACING, TraceKind.ACCUMULATING]
+)
+def test_sarsa_backends_train_identically(tea_adl, trace_kind):
+    """Naive SARSA(λ), trained the way the ablation bench trains it."""
+
+    def run(backend):
+        config = PlanningConfig(q_backend=backend)
+        actions = tuple(action_space(tea_adl))
+        learner = SarsaLambdaLearner(
+            learning_rate=config.learning_rate, discount=config.discount,
+            trace_decay=config.trace_decay, policy=_decay_policy(config),
+            trace_kind=trace_kind, initial_q=config.initial_q,
+            q_backend=backend,
+        )
+        rng = seeded_generator(0)
+        routine = tea_adl.canonical_routine()
+        log = [list(routine.step_ids)] * EPISODES
+        reward_fn = CoReDAReward(config, log[0][-1])
+        deltas = []
+        for iteration, episode in enumerate(log):
+            states = episode_states(list(episode))
+            learner.begin_episode()
+            action, _ = learner.select_action(
+                states[0], actions, rng, step=iteration
+            )
+            for index in range(len(states) - 1):
+                state, next_state = states[index], states[index + 1]
+                reward = reward_fn.reward(state, action, next_state)
+                done = next_state.current == reward_fn.terminal_step_id
+                if done:
+                    deltas.append(
+                        learner.observe(
+                            state, action, reward, next_state, None, True
+                        )
+                    )
+                    break
+                next_action, _ = learner.select_action(
+                    next_state, actions, rng, step=iteration
+                )
+                deltas.append(
+                    learner.observe(
+                        state, action, reward, next_state, next_action, False
+                    )
+                )
+                action = next_action
+        probe = episode_states(list(routine.step_ids))
+        greedy = [learner.greedy_action(s, actions) for s in probe[:-1]]
+        return deltas, greedy, learner
+
+    deltas_s, greedy_s, sparse = run("sparse")
+    deltas_d, greedy_d, dense = run("dense")
+    assert deltas_s == deltas_d
+    assert greedy_s == greedy_d
+    assert sparse.q.max_abs_difference(dense.q) == 0.0
+
+
+def test_softmax_selections_identical_across_backends(tea_adl):
+    """SoftmaxPolicy consumes the RNG identically on both backends."""
+    result = {}
+    for backend in ("sparse", "dense"):
+        trained = _train(tea_adl, "tdlambda-softmax", backend, 1)
+        rng = seeded_generator(99)
+        actions = tuple(action_space(tea_adl))
+        states = episode_states(list(tea_adl.step_ids))
+        policy = SoftmaxPolicy(10.0)
+        result[backend] = [
+            policy.select(trained.learner.q, state, actions, rng)
+            for state in states[:-1]
+            for _ in range(5)
+        ]
+    assert result["sparse"] == result["dense"]
+
+
+# ---------------------------------------------------------------------------
+# Cache key and document byte-identity
+# ---------------------------------------------------------------------------
+
+
+def test_training_document_bytes_identical(tea_adl):
+    blobs = {}
+    for backend in ("sparse", "dense"):
+        result = _train(tea_adl, "tdlambda-replacing", backend, 0)
+        blobs[backend] = json.dumps(
+            training_document(result, tea_adl.name), sort_keys=True
+        ).encode("utf-8")
+    assert blobs["sparse"] == blobs["dense"]
+
+
+def test_cache_key_ignores_backend(tea_adl):
+    keys = {
+        backend: training_cache_key(
+            tea_adl.name,
+            list(tea_adl.step_ids),
+            PlanningConfig(q_backend=backend),
+            0,
+            EPISODES,
+        )
+        for backend in ("sparse", "dense")
+    }
+    assert keys["sparse"] == keys["dense"]
+
+
+@pytest.mark.parametrize(
+    "writer,reader", [("sparse", "dense"), ("dense", "sparse")]
+)
+def test_cross_backend_cache_hit(tea_adl, tmp_path, writer, reader):
+    """An entry cached by one backend is hit -- and trusted -- by the other."""
+    cache = PolicyCache(tmp_path / "cache")
+    routine = list(tea_adl.step_ids)
+    first = train_routine_cached(
+        tea_adl, routine, PlanningConfig(q_backend=writer), 0, EPISODES,
+        cache=cache,
+    )
+    assert not first.cache_hit
+    second = train_routine_cached(
+        tea_adl, routine, PlanningConfig(q_backend=reader), 0, EPISODES,
+        cache=cache,
+    )
+    assert second.cache_hit
+    assert second.document == first.document
+    assert second.convergence == first.convergence
+
+
+# ---------------------------------------------------------------------------
+# The batched-draw RNG contract Dyna's planning sweep relies on
+# ---------------------------------------------------------------------------
+
+
+def test_batched_integer_draws_match_sequential():
+    """``rng.integers(n, size=k)`` == k scalar draws, same end state.
+
+    ``DynaQLearner._plan`` draws its planning sample indices in one
+    batch; this pins the NumPy property that makes the batch consume
+    the bit stream exactly like the sparse backend's scalar draws.
+    """
+    for n in (1, 3, 7, 1000):
+        a, b = np.random.default_rng(42), np.random.default_rng(42)
+        batched = a.integers(n, size=17).tolist()
+        sequential = [int(b.integers(n)) for _ in range(17)]
+        assert batched == sequential
+        # Both generators are left in the same state.
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+
+# ---------------------------------------------------------------------------
+# DenseQTable unit semantics (vs the sparse reference)
+# ---------------------------------------------------------------------------
+
+
+def test_dense_matches_sparse_semantics():
+    sparse, dense = QTable(initial_value=0.5), DenseQTable(initial_value=0.5)
+    actions = ("alpha", "beta", "gamma")
+    for table in (sparse, dense):
+        assert table.value("s0", "alpha") == 0.5
+        table.set("s0", "beta", 2.0)
+        table.add("s0", "beta", -0.5)
+        table.set("s1", "gamma", 1.0)
+    for state in ("s0", "s1", "unseen"):
+        assert dense.value(state, "beta") == sparse.value(state, "beta")
+        assert dense.best_action(state, actions) == sparse.best_action(
+            state, actions
+        )
+        assert dense.max_value(state, actions) == sparse.max_value(
+            state, actions
+        )
+        assert dense.action_values(state, actions) == sparse.action_values(
+            state, actions
+        )
+        assert dense.action_values_sorted(
+            state, actions
+        ) == sparse.action_values_sorted(state, actions)
+    assert sorted(map(repr, dense.known_pairs())) == sorted(
+        map(repr, sparse.known_pairs())
+    )
+    assert len(dense) == len(sparse) == 2
+
+
+def test_dense_tie_breaking_is_repr_order():
+    """Ties go to the repr-smallest action, exactly like the sparse table."""
+    sparse, dense = QTable(), DenseQTable()
+    # Interning order deliberately disagrees with repr order.
+    actions = ("zeta", "alpha", "mid")
+    for table in (sparse, dense):
+        for action in actions:
+            table.set("s", action, 1.0)
+    assert dense.best_action("s", actions) == "alpha"
+    assert dense.best_action("s", actions) == sparse.best_action("s", actions)
+    assert dense.greedy_policy({"s": list(actions)}) == sparse.greedy_policy(
+        {"s": list(actions)}
+    )
+
+
+def test_dense_empty_actions_raise():
+    dense = DenseQTable()
+    with pytest.raises(ValueError):
+        dense.best_action("s", ())
+    with pytest.raises(ValueError):
+        dense.max_value("s", ())
+
+
+def test_dense_copy_is_independent():
+    dense = DenseQTable()
+    dense.set("s", "a", 1.0)
+    clone = dense.copy()
+    clone.set("s", "a", 5.0)
+    clone.set("s2", "b", 7.0)
+    assert dense.value("s", "a") == 1.0
+    assert dense.value("s2", "b") == 0.0
+    assert dense.max_abs_difference(clone) == 7.0
+
+
+def test_dense_tables_share_one_index():
+    """Double-Q style: two tables on one index stay in sync after growth."""
+    index = StateActionIndex()
+    q_a = DenseQTable(index=index)
+    q_b = DenseQTable(index=index)
+    # Intern far more states through q_a than the initial capacity.
+    for i in range(100):
+        q_a.set(f"state-{i}", "go", float(i))
+    # q_b must see the enlarged index without having interned anything.
+    assert q_b.value("state-99", "go") == 0.0
+    q_b.set("state-99", "go", -1.0)
+    assert q_b.best_action("state-99", ("go", "stop")) == "stop"
+    assert q_a.value("state-99", "go") == 99.0
+
+
+def test_dense_as_array_tracks_writes():
+    dense = DenseQTable()
+    dense.set("s", "a", 3.0)
+    first = dense.as_array()
+    sid, aid = dense.index.state_id("s"), dense.index.action_id("a")
+    assert first[sid, aid] == 3.0
+    dense.add("s", "a", 1.0)
+    assert dense.as_array()[sid, aid] == 4.0
+
+
+def test_argmax_prober_tracks_updates_and_growth():
+    dense = DenseQTable()
+    states = ["s0", "s1", "s2"]
+    actions = ("a", "b", "c")
+    prober = dense.argmax_prober(states, actions)
+    assert prober() == [
+        dense.best_action(state, actions) for state in states
+    ]
+    dense.set("s1", "c", 9.0)
+    assert prober()[1] == "c"
+    # Force a table grow; the prober must revalidate its offsets.
+    for i in range(200):
+        dense.set(f"grow-{i}", "a", 0.0)
+    dense.set("s2", "b", 4.0)
+    assert prober() == [
+        dense.best_action(state, actions) for state in states
+    ]
+    with pytest.raises(ValueError):
+        dense.argmax_prober(states, ())
+
+
+def test_make_qtable_selects_backend():
+    assert type(make_qtable("dense", 0.0)) is DenseQTable
+    assert type(make_qtable("sparse", 0.0)) is QTable
+    with pytest.raises(ValueError):
+        make_qtable("mystery", 0.0)
+
+
+# ---------------------------------------------------------------------------
+# DenseTraces unit semantics (vs the sparse reference)
+# ---------------------------------------------------------------------------
+
+
+def _reference_traces(kind):
+    from repro.rl.traces import EligibilityTraces
+
+    return EligibilityTraces(kind=kind)
+
+
+@pytest.mark.parametrize(
+    "kind", [TraceKind.REPLACING, TraceKind.ACCUMULATING]
+)
+def test_dense_traces_match_sparse(kind):
+    dense_q = DenseQTable()
+    dense = make_traces(dense_q, kind)
+    sparse = _reference_traces(kind)
+    assert type(dense) is DenseTraces
+    for traces in (dense, sparse):
+        traces.visit("s0", "a")
+        traces.visit("s0", "a")  # replacing pins to 1, accumulating sums
+        traces.visit("s1", "b")
+        traces.decay(0.5)
+    assert dense.get("s0", "a") == sparse.get("s0", "a")
+    assert dense.get("s1", "b") == sparse.get("s1", "b")
+    assert dict(dense.items()) == dict(sparse.items())
+    # Cutoff: decay far enough and entries are dropped on both.
+    for _ in range(40):
+        dense.decay(0.5)
+        sparse.decay(0.5)
+    assert len(dense) == len(sparse) == 0
+
+
+def test_dense_traces_apply_update_and_snapshot():
+    q = DenseQTable()
+    traces = make_traces(q, TraceKind.REPLACING)
+    traces.visit("s0", "a")
+    traces.decay(0.5)
+    traces.visit("s1", "b")
+    traces.apply_update(q, 2.0)
+    assert q.value("s0", "a") == 1.0  # 2.0 * 0.5
+    assert q.value("s1", "b") == 2.0
+    # items() is a snapshot: mutating mid-iteration must be safe.
+    for (state, action), _ in traces.items():
+        traces.visit(state, action)
+    traces.reset()
+    assert len(traces) == 0 and list(traces.items()) == []
