@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench report
+.PHONY: lint test bench fleet-bench report
 
 lint:
 	$(PYTHON) -m repro lint src/repro
@@ -11,6 +11,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+fleet-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_fleet.py --benchmark-only -s
 
 report:
 	$(PYTHON) -m repro report

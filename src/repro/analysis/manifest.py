@@ -59,8 +59,10 @@ PROCESS_DIRECTIVES = frozenset({"Timeout", "Wait"})
 
 #: Hot-path classes that must declare ``__slots__`` (PERF001): the
 #: kernel allocates one ``Event`` per scheduled callback, every
-#: 10 Hz sample touches a detector and a signal source, and every
-#: RL training transition goes through the dense Q/trace backend.
+#: 10 Hz sample touches a detector and a signal source, every RL
+#: training transition goes through the dense Q/trace backend, and
+#: the fleet reducers see one ``HomeReport`` per home and one
+#: ``Welford`` update per observation.
 #: Each entry is ``(module path suffix, class names in that module)``.
 HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("repro/sim/kernel.py", ("Event",)),
@@ -76,6 +78,7 @@ HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
             "DenseTraces",
         ),
     ),
+    ("repro/fleet/metrics.py", ("Welford", "HomeReport")),
 )
 
 

@@ -10,6 +10,7 @@ simulate   run live guided episodes against a simulated resident and
            print the caregiver report
 scenario   replay the paper's Figure 1 tea-making scenario
 report     regenerate every paper table/figure (evalx runner)
+fleet      simulate a fleet of resident-homes (repro.fleet)
 lint       run the determinism / sim-safety static analyzer
 ========== ==========================================================
 """
@@ -84,6 +85,41 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--timing", action="store_true",
                         help="print per-section timings to stderr")
     report.add_argument("--output", help="also write the report to a file")
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="simulate a fleet of resident-homes and aggregate metrics",
+        description="Expand a synthetic cohort into per-home simulation "
+        "cells, shard them over worker processes, share trained policies "
+        "through the content-addressed cache, and stream caregiver "
+        "metrics.  Output is byte-identical at any --jobs.",
+    )
+    fleet.add_argument("--adl", default="tea-making",
+                       help="ADL name (see list-adls)")
+    fleet.add_argument("--homes", type=int, default=100, metavar="N",
+                       help="number of resident-homes (default 100)")
+    fleet.add_argument("--episodes", type=int, default=1, metavar="K",
+                       help="guided episodes per home (default 1)")
+    fleet.add_argument("--train-episodes", type=int, default=120,
+                       metavar="K", help="training episodes per distinct "
+                       "routine (default 120)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--seed-classes", type=int, default=4, metavar="N",
+                       help="training seed pool size: homes sharing a "
+                       "routine and seed class share one trained policy")
+    fleet.add_argument("--shard-size", type=int, default=25, metavar="N",
+                       help="homes per worker shard (default 25; never "
+                       "affects the output bytes)")
+    fleet.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (output is byte-identical "
+                       "for every N)")
+    fleet.add_argument("--cache", metavar="DIR",
+                       help="trained-policy cache directory (default: a "
+                       "private per-run directory)")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the aggregate metrics as JSON")
+    fleet.add_argument("--timing", action="store_true",
+                       help="print wall-clock and homes/sec to stderr")
 
     lint = commands.add_parser(
         "lint",
@@ -249,6 +285,37 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.evalx.runner import check_cache_dir
+    from repro.fleet import FleetSpec, run_fleet
+
+    if args.cache:
+        check_cache_dir(parser, args.cache)
+    try:
+        spec = FleetSpec(
+            adl_name=args.adl,
+            homes=args.homes,
+            seed=args.seed,
+            episodes_per_home=args.episodes,
+            training_episodes=args.train_episodes,
+            seed_classes=args.seed_classes,
+            shard_size=args.shard_size,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    start = time.perf_counter()  # repro: allow[DET002] timing display only
+    result = run_fleet(spec, jobs=args.jobs, cache_dir=args.cache)
+    elapsed = time.perf_counter() - start  # repro: allow[DET002] timing display only
+    print(result.to_json() if args.json else result.to_text())
+    if args.timing:
+        rate = args.homes / elapsed if elapsed > 0 else float("inf")
+        sys.stderr.write(
+            f"fleet wall-clock: {elapsed:.2f}s ({rate:.1f} homes/sec, "
+            f"jobs={args.jobs})\n"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.analysis import (
         LintUsageError,
@@ -287,6 +354,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario()
     if args.command == "report":
         return _cmd_report(args, parser)
+    if args.command == "fleet":
+        return _cmd_fleet(args, parser)
     if args.command == "lint":
         return _cmd_lint(args, parser)
     raise AssertionError(f"unhandled command {args.command!r}")

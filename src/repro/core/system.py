@@ -153,6 +153,19 @@ class CoReDA:
         self._deploy()
         return self.training
 
+    def deploy_predictor(self, predictor: NextStepPredictor) -> None:
+        """Deploy an externally trained or restored policy.
+
+        The fleet layer trains each distinct routine once through the
+        content-addressed :class:`~repro.planning.store.PolicyCache`
+        and hands the restored predictor straight to the live planning
+        and reminding subsystems -- many homes, one training.  Online
+        adaptation stays unavailable (it needs the live learner that
+        only :meth:`train_offline` keeps).
+        """
+        self.predictor = predictor
+        self._deploy()
+
     def _deploy(self) -> None:
         if self.predictor is None:
             raise CoReDAError("cannot deploy before training")

@@ -18,8 +18,10 @@ cell functions, which is what makes byte-equality testable.
 
 from __future__ import annotations
 
+import itertools
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +30,7 @@ from repro.sim.random import derive_seed
 __all__ = [
     "Cell",
     "Section",
+    "WorkerPool",
     "cell_seed",
     "run_cells",
     "run_section",
@@ -81,8 +84,81 @@ def _timed_cell(cell: Cell) -> Tuple[Any, float]:
     return result, time.perf_counter() - start  # repro: allow[DET002] timing display only
 
 
+class WorkerPool:
+    """A persistent process pool reused across :func:`run_cells` calls.
+
+    A fleet run pushes several waves of cells (the distinct-routine
+    training wave, then the home shards) through one pool, so worker
+    processes fork once and amortize interpreter startup over the
+    whole run.  The underlying executor is created lazily: a pool
+    opened for a ``jobs=1`` run never forks at all.
+
+    Use as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(int(jobs), 1)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> Executor:
+        """The lazily created process-pool executor."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _drain_windowed(
+    executor: Executor,
+    cells: Sequence[Cell],
+    window: int,
+    results: List[Any],
+    seconds: List[float],
+) -> None:
+    """Submit ``cells`` through a bounded window, collecting in order.
+
+    At most ``window`` cells are in flight at once, so a million-cell
+    fleet never materializes a million futures (or their buffered
+    results) in the parent.  Results are taken strictly in submission
+    order -- the head of the window must finish before the next cell
+    is submitted -- which preserves the ordered-merge contract.  When
+    a cell raises, every not-yet-running future is cancelled, cells
+    beyond the window are never submitted at all, and the error
+    propagates to the caller.
+    """
+    pending: "deque" = deque()
+    iterator = iter(cells)
+    for cell in itertools.islice(iterator, window):
+        pending.append(executor.submit(_timed_cell, cell))
+    while pending:
+        head = pending.popleft()
+        try:
+            result, elapsed = head.result()
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+        results.append(result)
+        seconds.append(elapsed)
+        for cell in itertools.islice(iterator, 1):
+            pending.append(executor.submit(_timed_cell, cell))
+
+
 def run_cells(
-    cells: Sequence[Cell], jobs: int = 1
+    cells: Sequence[Cell],
+    jobs: int = 1,
+    window: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[List[Any], List[float]]:
     """Run ``cells``; return their results *in submission order*.
 
@@ -90,6 +166,15 @@ def run_cells(
     workers executes the cells concurrently.  Either way the returned
     lists are ordered like ``cells``, which is the determinism
     contract every merge function relies on.
+
+    Submission is windowed: at most ``window`` cells (default
+    ``4 * jobs``) are outstanding at any moment, and a failing cell
+    cancels everything still queued instead of letting the remaining
+    work run to completion.  ``pool`` lends a persistent
+    :class:`WorkerPool` so several calls share one set of worker
+    processes; without it a fresh pool is created per call.  Neither
+    knob changes the results -- the inline ``jobs <= 1`` path and the
+    pooled path execute the same cell functions in the same order.
     """
     if jobs <= 1 or len(cells) <= 1:
         results: List[Any] = []
@@ -99,10 +184,17 @@ def run_cells(
             results.append(result)
             seconds.append(elapsed)
         return results, seconds
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        futures = [pool.submit(_timed_cell, cell) for cell in cells]
-        pairs = [future.result() for future in futures]
-    return [pair[0] for pair in pairs], [pair[1] for pair in pairs]
+    if window is None:
+        window = 4 * jobs
+    window = max(window, 1)
+    results = []
+    seconds = []
+    if pool is not None:
+        _drain_windowed(pool.executor(), cells, window, results, seconds)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as owned:
+            _drain_windowed(owned, cells, window, results, seconds)
+    return results, seconds
 
 
 def run_section(section: Section, jobs: int = 1) -> Any:

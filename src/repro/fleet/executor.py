@@ -1,0 +1,192 @@
+"""The sharded fleet executor: thousands of homes, one care platform.
+
+Execution happens in two waves over one persistent
+:class:`~repro.evalx.parallel.WorkerPool`:
+
+1. **Train** -- one cell per *distinct* training (ADL, routine, seed
+   class), populating the content-addressed
+   :class:`~repro.planning.store.PolicyCache` on disk.  A 10k-home
+   fleet with seven routines and four seed classes trains 28
+   policies, not 10k.
+2. **Simulate** -- one cell per shard of ``shard_size`` homes.  Every
+   home resolves its policy with a cache hit, runs its guided
+   episodes, and folds into the shard's streaming
+   :class:`~repro.fleet.metrics.FleetMetrics` accumulator; only that
+   accumulator (plus the worker-side cache hit/miss counters) crosses
+   back to the parent.
+
+Both waves go through :func:`repro.evalx.parallel.run_cells`, so they
+inherit its ordered-merge contract and bounded-window submission: the
+fleet result is byte-identical at any ``--jobs``, and the parent
+holds O(shards) futures and O(1) metrics, never O(homes) reports.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.adls.library import default_registry
+from repro.core.config import CoReDAConfig
+from repro.evalx.parallel import Cell, WorkerPool, run_cells
+from repro.fleet.home import simulate_home, train_home_policy
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.spec import FleetSpec, HomeSpec, distinct_trainings
+from repro.planning.store import PolicyCache
+
+__all__ = ["FleetResult", "run_fleet"]
+
+
+@dataclass
+class FleetResult:
+    """One fleet run's aggregate outcome."""
+
+    spec: FleetSpec
+    metrics: FleetMetrics
+    shards: int
+    distinct_trainings: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready; byte-equal dicts certify byte-equal fleets."""
+        return {
+            "adl": self.spec.adl_name,
+            "homes": self.spec.homes,
+            "seed": self.spec.seed,
+            "episodes_per_home": self.spec.episodes_per_home,
+            "seed_classes": self.spec.seed_classes,
+            "shards": self.shards,
+            "distinct_trainings": self.distinct_trainings,
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        header = (
+            f"Fleet — {self.spec.adl_name}, seed {self.spec.seed}: "
+            f"{self.spec.homes} homes in {self.shards} shards, "
+            f"{self.distinct_trainings} distinct trainings"
+        )
+        return header + "\n\n" + self.metrics.to_text()
+
+
+def _train_cell(
+    adl_name: str,
+    home: HomeSpec,
+    config: CoReDAConfig,
+    training_episodes: int,
+    cache_dir: str,
+) -> Tuple[int, int]:
+    """Wave-1 worker: train one distinct routine into the cache."""
+    definition = default_registry().get(adl_name)
+    cache = PolicyCache(cache_dir)
+    train_home_policy(definition, home, config, training_episodes, cache)
+    return cache.stats()
+
+
+def _shard_cell(
+    adl_name: str,
+    homes: Tuple[HomeSpec, ...],
+    config: CoReDAConfig,
+    episodes: int,
+    training_episodes: int,
+    cache_dir: str,
+) -> Tuple[FleetMetrics, int, int]:
+    """Wave-2 worker: simulate one shard of homes.
+
+    Returns the shard's streaming accumulator **and** the worker-side
+    cache counters -- the counters are per-process, so without this
+    the parent would report zero hits for every parallel run.
+    """
+    definition = default_registry().get(adl_name)
+    cache = PolicyCache(cache_dir)
+    metrics = FleetMetrics()
+    for home in homes:
+        metrics.add_home(
+            simulate_home(
+                definition, home, config, episodes, training_episodes, cache
+            )
+        )
+    hits, misses = cache.stats()
+    return metrics, hits, misses
+
+
+def run_fleet(
+    spec: FleetSpec,
+    jobs: int = 1,
+    config: Optional[CoReDAConfig] = None,
+    cache_dir: Optional[str] = None,
+    window: Optional[int] = None,
+) -> FleetResult:
+    """Run a whole fleet; byte-identical result at any ``jobs``.
+
+    ``cache_dir`` shares trained policies across runs (and with the
+    ``repro report`` cache); without it a private cache directory is
+    created for the run and removed afterwards -- policy sharing
+    *within* the fleet works either way.
+    """
+    definition = default_registry().get(spec.adl_name)
+    if config is None:
+        config = CoReDAConfig(seed=spec.seed)
+    homes = spec.expand(definition)
+    shards = spec.shards(homes)
+    representatives = distinct_trainings(homes)
+    own_cache = cache_dir is None
+    if own_cache:
+        cache_dir = tempfile.mkdtemp(prefix="repro-fleet-cache-")
+    metrics = FleetMetrics()
+    try:
+        with WorkerPool(jobs) as pool:
+            train_cells = [
+                Cell(
+                    _train_cell,
+                    (
+                        spec.adl_name,
+                        home,
+                        config,
+                        spec.training_episodes,
+                        cache_dir,
+                    ),
+                    label=f"fleet.train[{index}]",
+                )
+                for index, home in enumerate(representatives)
+            ]
+            train_stats, _ = run_cells(
+                train_cells, jobs=jobs, window=window, pool=pool
+            )
+            shard_cells = [
+                Cell(
+                    _shard_cell,
+                    (
+                        spec.adl_name,
+                        shard,
+                        config,
+                        spec.episodes_per_home,
+                        spec.training_episodes,
+                        cache_dir,
+                    ),
+                    label=f"fleet.shard[{index}]",
+                )
+                for index, shard in enumerate(shards)
+            ]
+            shard_results, _ = run_cells(
+                shard_cells, jobs=jobs, window=window, pool=pool
+            )
+    finally:
+        if own_cache:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    for hits, misses in train_stats:
+        metrics.add_cache_stats(hits, misses)
+    for shard_metrics, hits, misses in shard_results:
+        metrics.merge(shard_metrics)
+        metrics.add_cache_stats(hits, misses)
+    return FleetResult(
+        spec=spec,
+        metrics=metrics,
+        shards=len(shards),
+        distinct_trainings=len(representatives),
+    )

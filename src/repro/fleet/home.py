@@ -1,0 +1,118 @@
+"""Simulate one resident-home from its :class:`~repro.fleet.spec.HomeSpec`.
+
+The fleet's innermost loop: rebuild the home's deployment (one
+:class:`~repro.core.system.CoReDA` per home, seeded from the home's
+SHA-256-derived seed), resolve the trained policy through the shared
+:class:`~repro.planning.store.PolicyCache`, run the home's guided
+episodes, and distill the outcome into a single
+:class:`~repro.fleet.metrics.HomeReport`.  Everything here is a pure
+function of the spec -- a home simulates identically whichever shard
+or worker process it lands in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adls.library import ADLDefinition
+from repro.core.adl import ReminderLevel, Routine
+from repro.core.config import CoReDAConfig
+from repro.core.system import CoReDA
+from repro.fleet.metrics import HomeReport
+from repro.fleet.spec import HomeSpec
+from repro.planning.store import PolicyCache, train_routine_cached
+from repro.resident.compliance import ComplianceModel
+from repro.resident.dementia import DementiaProfile
+
+__all__ = ["simulate_home", "train_home_policy"]
+
+
+def train_home_policy(
+    definition: ADLDefinition,
+    home: HomeSpec,
+    config: CoReDAConfig,
+    training_episodes: int,
+    cache: Optional[PolicyCache],
+):
+    """Resolve the home's trained policy via the content cache.
+
+    Homes sharing (ADL, routine, planning config, seed class) resolve
+    the same key, so only the first resolver trains; the executor
+    pre-warms the cache with one wave over the distinct trainings to
+    make that first resolver a dedicated cell rather than a race.
+    """
+    return train_routine_cached(
+        definition.adl,
+        list(home.routine_ids),
+        config.planning,
+        home.train_seed,
+        training_episodes,
+        cache=cache,
+    )
+
+
+def simulate_home(
+    definition: ADLDefinition,
+    home: HomeSpec,
+    config: CoReDAConfig,
+    episodes: int,
+    training_episodes: int,
+    cache: Optional[PolicyCache],
+    horizon: float = 3600.0,
+) -> HomeReport:
+    """Run one home's guided episodes; return its distilled report."""
+    cached = train_home_policy(
+        definition, home, config, training_episodes, cache
+    )
+    system = CoReDA(definition, config.with_seed(home.seed))
+    system.deploy_predictor(cached.predictor(definition.adl))
+    routine = Routine(definition.adl, list(home.routine_ids))
+    reliable = {
+        step.step_id: max(step.handling_duration, 5.0)
+        for step in definition.adl.steps
+    }
+    compliance = ComplianceModel(
+        minimal_response=home.minimal_response,
+        specific_response=home.specific_response,
+        delay_mean=home.delay_mean,
+        delay_sd=1.0,
+    )
+    completed = 0
+    reminders_seen = 0
+    reminders_followed = 0
+    self_recoveries = 0
+    for episode in range(episodes):
+        resident = system.create_resident(
+            routine=routine,
+            dementia=DementiaProfile.from_severity(home.severity),
+            compliance=compliance,
+            handling_overrides=reliable,
+            error_use_duration=5.0,
+            name=f"home-{home.home_id}.{episode}",
+        )
+        outcome = system.run_episode(resident, horizon=horizon)
+        completed += int(outcome.completed)
+        reminders_seen += outcome.reminders_seen
+        reminders_followed += outcome.reminders_followed
+        self_recoveries += outcome.self_recoveries
+    session = system.session
+    minimal = sum(
+        1
+        for reminder in session.reminders
+        if reminder.level is ReminderLevel.MINIMAL
+    )
+    return HomeReport(
+        home_id=home.home_id,
+        severity=home.severity,
+        episodes=episodes,
+        completed=completed,
+        reminders=len(session.reminders),
+        minimal_reminders=minimal,
+        specific_reminders=len(session.reminders) - minimal,
+        praises=session.praises,
+        caregiver_alerts=system.reminding.caregiver_alerts,
+        errors=system.trace.count("resident.error"),
+        self_recoveries=self_recoveries,
+        reminders_seen=reminders_seen,
+        reminders_followed=reminders_followed,
+    )

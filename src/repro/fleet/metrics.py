@@ -1,0 +1,252 @@
+"""Streaming caregiver metrics: O(1) memory at any fleet size.
+
+A 10k-home fleet must not materialize 10k
+:class:`~repro.reporting.caregiver.CaregiverReport` objects in the
+parent process.  Instead each worker folds its shard's homes into one
+:class:`FleetMetrics` accumulator (counts plus Welford moment
+accumulators), ships that single object back, and the parent merges
+the shard accumulators in submission order.  Merging in a fixed order
+matters: Welford combination is exact for counts and means but not
+associative in floating point, so the shard partition and merge order
+are functions of the spec alone -- never of the worker count -- which
+is what keeps fleet metrics byte-identical at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["Welford", "HomeReport", "FleetMetrics"]
+
+
+class Welford:
+    """Streaming count/mean/sd (Welford's online algorithm).
+
+    ``add`` is O(1) per observation; ``merge`` combines two
+    accumulators with Chan's parallel update, so shard-level moments
+    fold into fleet-level moments without revisiting any home.
+    """
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def merge(self, other: "Welford") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+    @property
+    def sd(self) -> Optional[float]:
+        """Sample standard deviation; ``None`` below two observations."""
+        if self.count < 2:
+            return None
+        return math.sqrt(self.m2 / (self.count - 1))
+
+    def as_dict(self) -> dict:
+        sd = self.sd
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 9),
+            "sd": None if sd is None else round(sd, 9),
+        }
+
+
+class HomeReport:
+    """One home's simulation outcome, before it melts into the fleet.
+
+    The per-home hot-path record: one is produced and consumed per
+    home, inside the worker, and never leaves the shard.
+    """
+
+    __slots__ = (
+        "home_id",
+        "severity",
+        "episodes",
+        "completed",
+        "reminders",
+        "minimal_reminders",
+        "specific_reminders",
+        "praises",
+        "caregiver_alerts",
+        "errors",
+        "self_recoveries",
+        "reminders_seen",
+        "reminders_followed",
+    )
+
+    def __init__(
+        self,
+        home_id: int,
+        severity: float,
+        episodes: int,
+        completed: int,
+        reminders: int,
+        minimal_reminders: int,
+        specific_reminders: int,
+        praises: int,
+        caregiver_alerts: int,
+        errors: int,
+        self_recoveries: int,
+        reminders_seen: int,
+        reminders_followed: int,
+    ) -> None:
+        self.home_id = home_id
+        self.severity = severity
+        self.episodes = episodes
+        self.completed = completed
+        self.reminders = reminders
+        self.minimal_reminders = minimal_reminders
+        self.specific_reminders = specific_reminders
+        self.praises = praises
+        self.caregiver_alerts = caregiver_alerts
+        self.errors = errors
+        self.self_recoveries = self_recoveries
+        self.reminders_seen = reminders_seen
+        self.reminders_followed = reminders_followed
+
+
+class FleetMetrics:
+    """The streaming fleet-level aggregate of many :class:`HomeReport` s.
+
+    Also carries the worker-side :class:`~repro.planning.store.PolicyCache`
+    hit/miss counters: cache stats are per-process, so every shard
+    returns its own and the parent sums them here -- the parent's own
+    cache object never saw the lookups.
+    """
+
+    def __init__(self) -> None:
+        self.homes = 0
+        self.episodes = 0
+        self.completed = 0
+        self.reminders = 0
+        self.minimal_reminders = 0
+        self.specific_reminders = 0
+        self.praises = 0
+        self.caregiver_alerts = 0
+        self.errors = 0
+        self.self_recoveries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.severity = Welford()
+        self.reminders_per_episode = Welford()
+        self.compliance = Welford()
+
+    def add_home(self, report: HomeReport) -> None:
+        """Fold one home in (worker side, O(1) memory)."""
+        self.homes += 1
+        self.episodes += report.episodes
+        self.completed += report.completed
+        self.reminders += report.reminders
+        self.minimal_reminders += report.minimal_reminders
+        self.specific_reminders += report.specific_reminders
+        self.praises += report.praises
+        self.caregiver_alerts += report.caregiver_alerts
+        self.errors += report.errors
+        self.self_recoveries += report.self_recoveries
+        self.severity.add(report.severity)
+        self.reminders_per_episode.add(report.reminders / report.episodes)
+        if report.reminders_seen:
+            self.compliance.add(
+                report.reminders_followed / report.reminders_seen
+            )
+
+    def add_cache_stats(self, hits: int, misses: int) -> None:
+        """Fold one worker's cache counters in (parent side)."""
+        self.cache_hits += int(hits)
+        self.cache_misses += int(misses)
+
+    def merge(self, other: "FleetMetrics") -> None:
+        """Fold a shard accumulator in (parent side, submission order)."""
+        self.homes += other.homes
+        self.episodes += other.episodes
+        self.completed += other.completed
+        self.reminders += other.reminders
+        self.minimal_reminders += other.minimal_reminders
+        self.specific_reminders += other.specific_reminders
+        self.praises += other.praises
+        self.caregiver_alerts += other.caregiver_alerts
+        self.errors += other.errors
+        self.self_recoveries += other.self_recoveries
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.severity.merge(other.severity)
+        self.reminders_per_episode.merge(other.reminders_per_episode)
+        self.compliance.merge(other.compliance)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready summary; equal dicts mean equal fleets."""
+        return {
+            "homes": self.homes,
+            "episodes": self.episodes,
+            "completed": self.completed,
+            "completion_rate": (
+                round(self.completed / self.episodes, 9)
+                if self.episodes
+                else None
+            ),
+            "reminders": self.reminders,
+            "minimal_reminders": self.minimal_reminders,
+            "specific_reminders": self.specific_reminders,
+            "praises": self.praises,
+            "caregiver_alerts": self.caregiver_alerts,
+            "errors": self.errors,
+            "self_recoveries": self.self_recoveries,
+            "severity": self.severity.as_dict(),
+            "reminders_per_episode": self.reminders_per_episode.as_dict(),
+            "compliance": self.compliance.as_dict(),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "trainings": self.cache_misses,
+            },
+        }
+
+    def to_text(self) -> str:
+        """Render the fleet summary for the care platform's console."""
+        rpe = self.reminders_per_episode
+        compliance = self.compliance
+        lines: List[str] = [
+            f"Fleet summary — {self.homes} homes, {self.episodes} episodes",
+            "",
+            f"  completed episodes:     {self.completed}/{self.episodes}",
+            f"  reminders given:        {self.reminders} "
+            f"({rpe.mean:.2f} ± {rpe.sd or 0.0:.2f} per episode per home)",
+            f"    minimal / specific:   {self.minimal_reminders} / "
+            f"{self.specific_reminders}",
+            f"  praise given:           {self.praises}",
+            f"  caregiver alerts:       {self.caregiver_alerts}",
+            f"  resident errors:        {self.errors} "
+            f"({self.self_recoveries} self-recovered)",
+        ]
+        if compliance.count:
+            lines.append(
+                f"  reminder compliance:    {compliance.mean:.0%} mean over "
+                f"{compliance.count} homes"
+            )
+        lookups = self.cache_hits + self.cache_misses
+        if lookups:
+            lines.append(
+                f"  policy cache:           {self.cache_hits}/{lookups} hits "
+                f"({self.cache_misses} trainings)"
+            )
+        return "\n".join(lines)

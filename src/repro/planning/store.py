@@ -223,6 +223,20 @@ class PolicyCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> None:
+        """Remove temp files left behind by a writer that crashed mid-put.
+
+        A temp is only visible here if ``put`` died between ``mkstemp``
+        and ``os.replace``; a racing live writer loses its temp at
+        worst, and ``put`` recovers by retrying with a fresh one.
+        """
+        for stale in sorted(self.root.glob(".tmp-*")):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -241,22 +255,48 @@ class PolicyCache:
     def put(self, key: str, document: dict) -> None:
         """Store ``document`` under ``key`` (atomic, last write wins)."""
         path = self.path_for(key)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.root), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle)
-            os.replace(tmp, path)
-        except BaseException:
+        blob = json.dumps(document)
+        # The ``.part`` suffix keeps in-flight temps out of ``*.json``
+        # globs (pathlib's ``*`` matches a leading dot, so a crashed
+        # writer's ``.tmp-*.json`` leftover used to inflate __len__).
+        for attempt in range(2):
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tmp-", suffix=".part"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                # A concurrent __init__ swept our temp between write
+                # and rename; one retry always wins (the sweeper only
+                # runs once per cache construction).
+                if attempt:
+                    raise
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def stats(self) -> Tuple[int, int]:
+        """This process's ``(hits, misses)`` counters.
+
+        The counters are per-process by nature; parallel runners must
+        ship them back from each worker alongside the cell results and
+        sum them (see ``repro.fleet``) -- reading the parent's cache
+        object after a parallel run reports only the parent's lookups.
+        """
+        return self.hits, self.misses
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(
+            1
+            for path in self.root.glob("*.json")
+            if not path.name.startswith(".")
+        )
 
 
 @dataclass

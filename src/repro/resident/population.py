@@ -49,6 +49,14 @@ def generate_population(
     """
     if count <= 0:
         raise ValueError("count must be positive")
+    if not 0.1 <= max_severity <= 1.0:
+        raise ValueError(
+            f"max_severity must be in [0.1, 1.0], got {max_severity}"
+        )
+    if min_age > max_age:
+        raise ValueError(
+            f"min_age ({min_age}) must not exceed max_age ({max_age})"
+        )
     rng = streams.get("population")
     profiles = []
     for index in range(count):

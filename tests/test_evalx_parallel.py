@@ -7,10 +7,13 @@ at three levels -- the cell pool, one real section, and the full fast
 report.
 """
 
+import pytest
+
 from repro.evalx.learning_curve import plan_learning_curve
 from repro.evalx.parallel import (
     Cell,
     Section,
+    WorkerPool,
     cell_seed,
     run_cells,
     run_section,
@@ -25,6 +28,18 @@ def _square(value):
 
 def _pair(left, right):
     return (left, right)
+
+
+def _boom(value):
+    raise RuntimeError(f"cell {value} exploded")
+
+
+def _touch(directory, index):
+    """Leave a sentinel proving this cell actually executed."""
+    import pathlib
+
+    pathlib.Path(directory, f"ran-{index}").write_text("x")
+    return index
 
 
 class TestCellSeed:
@@ -63,6 +78,86 @@ class TestRunCells:
         _, seconds = run_cells(cells)
         assert len(seconds) == len(cells)
         assert all(elapsed >= 0.0 for elapsed in seconds)
+
+
+class TestBoundedSubmission:
+    """run_cells must not submit everything eagerly (fleet scale)."""
+
+    def test_explicit_window_preserves_order(self):
+        cells = [Cell(_square, (n,)) for n in range(10)]
+        results, _ = run_cells(cells, jobs=2, window=2)
+        assert results == [n * n for n in range(10)]
+
+    def test_error_propagates_inline(self):
+        with pytest.raises(RuntimeError, match="cell 1 exploded"):
+            run_cells([Cell(_square, (0,)), Cell(_boom, (1,))], jobs=1)
+
+    def test_error_propagates_parallel(self):
+        cells = [Cell(_boom, (n,)) for n in range(4)]
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_cells(cells, jobs=2, window=2)
+
+    def test_failure_cancels_unsubmitted_cells(self, tmp_path):
+        """Cells beyond the window never run once a cell has failed.
+
+        With ``window=2`` at most cells 1 and 2 can be in flight when
+        cell 0's failure is observed; cells from index 3 on must never
+        have been submitted, so their sentinels cannot exist.
+        """
+        window = 2
+        cells = [Cell(_boom, (0,))] + [
+            Cell(_touch, (str(tmp_path), index)) for index in range(1, 30)
+        ]
+        with pytest.raises(RuntimeError, match="cell 0 exploded"):
+            run_cells(cells, jobs=2, window=window)
+        for index in range(window + 1, 30):
+            assert not (tmp_path / f"ran-{index}").exists()
+
+    def test_windowed_matches_inline(self):
+        cells = [Cell(_square, (n,)) for n in range(9)]
+        inline, _ = run_cells(cells, jobs=1)
+        windowed, _ = run_cells(cells, jobs=3, window=3)
+        assert windowed == inline
+
+
+class TestWorkerPool:
+    def test_pool_reused_across_waves(self):
+        with WorkerPool(2) as pool:
+            first, _ = run_cells(
+                [Cell(_square, (n,)) for n in range(4)], jobs=2, pool=pool
+            )
+            executor = pool.executor()
+            second, _ = run_cells(
+                [Cell(_square, (n,)) for n in range(4, 8)], jobs=2, pool=pool
+            )
+            assert pool.executor() is executor
+        assert first == [0, 1, 4, 9]
+        assert second == [16, 25, 36, 49]
+
+    def test_lazy_pool_never_forks_for_inline_runs(self):
+        with WorkerPool(4) as pool:
+            results, _ = run_cells(
+                [Cell(_square, (n,)) for n in range(3)], jobs=1, pool=pool
+            )
+            assert pool._executor is None
+        assert results == [0, 1, 4]
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.executor()
+        pool.close()
+        pool.close()
+
+    def test_pool_survives_a_failed_wave(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError):
+                run_cells(
+                    [Cell(_boom, (n,)) for n in range(3)], jobs=2, pool=pool
+                )
+            results, _ = run_cells(
+                [Cell(_square, (n,)) for n in range(3)], jobs=2, pool=pool
+            )
+        assert results == [0, 1, 4]
 
 
 class TestRunSections:

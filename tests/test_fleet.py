@@ -1,0 +1,296 @@
+"""The fleet layer: spec expansion, streaming reducers, executor.
+
+The fleet inherits the repo's central invariant -- byte-identical
+output at any ``--jobs`` -- and adds two of its own: per-home seeds
+never move when the shard layout changes, and policy sharing trains
+exactly the distinct (routine, seed class) combinations, not one
+policy per home.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+
+import pytest
+
+from repro.cli import main
+from repro.fleet import (
+    FleetMetrics,
+    FleetSpec,
+    HomeReport,
+    Welford,
+    distinct_trainings,
+    run_fleet,
+)
+from repro.sim.random import seeded_generator
+
+#: Small but non-trivial: several shards, several seed classes, and
+#: enough homes that routines repeat (so policy sharing is exercised).
+SPEC = FleetSpec(
+    adl_name="tea-making",
+    homes=10,
+    seed=0,
+    episodes_per_home=1,
+    training_episodes=40,
+    seed_classes=2,
+    shard_size=3,
+)
+
+
+@pytest.fixture(scope="module")
+def tea_fleet_definition():
+    from repro.adls.library import default_registry
+
+    return default_registry().get("tea-making")
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_fleet(SPEC, jobs=1)
+
+
+class TestFleetSpec:
+    def test_expand_is_deterministic(self, tea_fleet_definition):
+        first = SPEC.expand(tea_fleet_definition)
+        second = SPEC.expand(tea_fleet_definition)
+        assert first == second
+
+    def test_home_seeds_are_distinct(self, tea_fleet_definition):
+        homes = SPEC.expand(tea_fleet_definition)
+        assert len({home.seed for home in homes}) == len(homes)
+
+    def test_home_seeds_stable_under_shard_count_changes(
+        self, tea_fleet_definition
+    ):
+        resharded = FleetSpec(
+            adl_name=SPEC.adl_name,
+            homes=SPEC.homes,
+            seed=SPEC.seed,
+            episodes_per_home=SPEC.episodes_per_home,
+            training_episodes=SPEC.training_episodes,
+            seed_classes=SPEC.seed_classes,
+            shard_size=1,
+        )
+        assert resharded.expand(tea_fleet_definition) == SPEC.expand(
+            tea_fleet_definition
+        )
+
+    def test_shards_flatten_back_to_expand(self, tea_fleet_definition):
+        homes = SPEC.expand(tea_fleet_definition)
+        shards = SPEC.shards(homes)
+        assert [home for shard in shards for home in shard] == homes
+        assert all(len(shard) <= SPEC.shard_size for shard in shards)
+
+    def test_seed_classes_bound_training_seeds(self, tea_fleet_definition):
+        homes = SPEC.expand(tea_fleet_definition)
+        assert len({home.train_seed for home in homes}) <= SPEC.seed_classes
+
+    def test_distinct_trainings_dedupe_and_preserve_order(
+        self, tea_fleet_definition
+    ):
+        homes = SPEC.expand(tea_fleet_definition)
+        representatives = distinct_trainings(homes)
+        keys = [home.training_key for home in representatives]
+        assert len(set(keys)) == len(keys)
+        assert set(keys) == {home.training_key for home in homes}
+        ids = [home.home_id for home in representatives]
+        assert ids == sorted(ids)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"homes": 0},
+            {"episodes_per_home": 0},
+            {"training_episodes": -1},
+            {"seed_classes": 0},
+            {"shard_size": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetSpec(**kwargs)
+
+
+class TestWelford:
+    def test_matches_naive_aggregation(self):
+        rng = seeded_generator(7)
+        values = [float(v) for v in rng.normal(3.0, 2.0, size=200)]
+        welford = Welford()
+        for value in values:
+            welford.add(value)
+        assert welford.count == len(values)
+        assert math.isclose(welford.mean, statistics.fmean(values))
+        assert math.isclose(welford.sd, statistics.stdev(values))
+
+    def test_sharded_merge_matches_single_stream(self):
+        rng = seeded_generator(11)
+        values = [float(v) for v in rng.uniform(0.0, 5.0, size=100)]
+        single = Welford()
+        for value in values:
+            single.add(value)
+        merged = Welford()
+        for start in range(0, len(values), 7):
+            shard = Welford()
+            for value in values[start:start + 7]:
+                shard.add(value)
+            merged.merge(shard)
+        assert merged.count == single.count
+        assert math.isclose(merged.mean, single.mean)
+        assert math.isclose(merged.sd, single.sd)
+
+    def test_sd_needs_two_observations(self):
+        welford = Welford()
+        assert welford.sd is None
+        welford.add(1.0)
+        assert welford.sd is None
+        welford.add(2.0)
+        assert welford.sd is not None
+
+
+def _report(home_id, reminders=2, episodes=1, seen=2, followed=1):
+    return HomeReport(
+        home_id=home_id,
+        severity=0.4,
+        episodes=episodes,
+        completed=episodes,
+        reminders=reminders,
+        minimal_reminders=reminders,
+        specific_reminders=0,
+        praises=1,
+        caregiver_alerts=0,
+        errors=reminders,
+        self_recoveries=0,
+        reminders_seen=seen,
+        reminders_followed=followed,
+    )
+
+
+class TestFleetMetrics:
+    def test_counts_exact_vs_naive_per_home_aggregation(self):
+        reports = [_report(i, reminders=i % 3, seen=i % 3, followed=i % 3)
+                   for i in range(20)]
+        streamed = FleetMetrics()
+        for report in reports:
+            streamed.add_home(report)
+        assert streamed.homes == 20
+        assert streamed.reminders == sum(r.reminders for r in reports)
+        assert streamed.episodes == sum(r.episodes for r in reports)
+        rates = [r.reminders / r.episodes for r in reports]
+        assert math.isclose(
+            streamed.reminders_per_episode.mean, statistics.fmean(rates)
+        )
+        assert math.isclose(
+            streamed.reminders_per_episode.sd, statistics.stdev(rates)
+        )
+
+    def test_compliance_skips_homes_without_reminders(self):
+        metrics = FleetMetrics()
+        metrics.add_home(_report(0, reminders=0, seen=0, followed=0))
+        metrics.add_home(_report(1, reminders=2, seen=2, followed=1))
+        assert metrics.compliance.count == 1
+        assert math.isclose(metrics.compliance.mean, 0.5)
+
+    def test_merge_equals_single_accumulator(self):
+        reports = [_report(i, reminders=1 + i % 2) for i in range(9)]
+        single = FleetMetrics()
+        for report in reports:
+            single.add_home(report)
+        left, right = FleetMetrics(), FleetMetrics()
+        for report in reports[:4]:
+            left.add_home(report)
+        for report in reports[4:]:
+            right.add_home(report)
+        left.merge(right)
+        assert left.to_dict() == single.to_dict()
+
+
+class TestFleetDeterminism:
+    def test_byte_identical_at_jobs_1_2_4(self, serial_result):
+        serial = serial_result.to_json()
+        assert run_fleet(SPEC, jobs=2).to_json() == serial
+        assert run_fleet(SPEC, jobs=4).to_json() == serial
+
+    def test_every_home_counted(self, serial_result):
+        assert serial_result.metrics.homes == SPEC.homes
+        assert serial_result.metrics.episodes == (
+            SPEC.homes * SPEC.episodes_per_home
+        )
+
+    def test_policy_sharing_trains_only_distinct_routines(
+        self, serial_result, tea_fleet_definition
+    ):
+        distinct = len(distinct_trainings(SPEC.expand(tea_fleet_definition)))
+        assert serial_result.distinct_trainings == distinct
+        assert distinct < SPEC.homes
+        # Wave 1 misses once per distinct training; every home then
+        # resolves its policy with a cache hit.
+        assert serial_result.metrics.cache_misses == distinct
+        assert serial_result.metrics.cache_hits == SPEC.homes
+
+    def test_parallel_run_reports_worker_side_cache_stats(self):
+        parallel = run_fleet(SPEC, jobs=2)
+        assert parallel.metrics.cache_hits == SPEC.homes
+        assert parallel.metrics.cache_misses == (
+            parallel.distinct_trainings
+        )
+
+    def test_shared_cache_dir_warm_second_run(self, tmp_path, serial_result):
+        cache = str(tmp_path / "fleet-cache")
+        cold = run_fleet(SPEC, jobs=1, cache_dir=cache)
+        warm = run_fleet(SPEC, jobs=1, cache_dir=cache)
+        assert cold.metrics.to_dict()["severity"] == (
+            warm.metrics.to_dict()["severity"]
+        )
+        assert warm.metrics.cache_misses == 0
+        assert warm.metrics.cache_hits == (
+            SPEC.homes + warm.distinct_trainings
+        )
+        # A private-cache run produces the same simulation metrics.
+        cold_dict = cold.to_dict()
+        serial_dict = serial_result.to_dict()
+        cold_dict["metrics"].pop("cache")
+        serial_dict["metrics"].pop("cache")
+        assert cold_dict == serial_dict
+
+
+class TestFleetCli:
+    def test_text_output(self, capsys):
+        code = main([
+            "fleet", "--homes", "4", "--episodes", "1",
+            "--train-episodes", "40", "--seed-classes", "2",
+            "--shard-size", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 homes" in out
+        assert "policy cache" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main([
+            "fleet", "--homes", "4", "--train-episodes", "40",
+            "--seed-classes", "2", "--shard-size", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["homes"] == 4
+        assert payload["metrics"]["cache"]["trainings"] == (
+            payload["distinct_trainings"]
+        )
+
+    def test_invalid_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--homes", "0"])
+        assert excinfo.value.code == 2
+        assert "homes must be positive" in capsys.readouterr().err
+
+    def test_timing_goes_to_stderr_not_stdout(self, capsys):
+        code = main([
+            "fleet", "--homes", "2", "--train-episodes", "40",
+            "--seed-classes", "1", "--shard-size", "2", "--timing",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "homes/sec" in captured.err
+        assert "homes/sec" not in captured.out

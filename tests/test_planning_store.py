@@ -160,3 +160,42 @@ class TestPolicyCache:
         cache.path_for(key).write_text("not json")
         again = train_routine_cached(tea_adl, ids, config, 0, 60, cache=cache)
         assert not again.cache_hit
+
+    def test_len_ignores_crashed_writer_temp_files(self, tmp_path):
+        """Regression: ``*.json`` globs match dotted temp leftovers.
+
+        ``pathlib`` globbing matches a leading dot, so a crashed
+        writer's ``.tmp-x.json`` used to inflate ``len(cache)``
+        forever.
+        """
+        cache = PolicyCache(tmp_path / "cache")
+        cache.put("real", {"format": 1})
+        (cache.root / ".tmp-x.json").write_text("{}", encoding="utf-8")
+        assert len(cache) == 1
+
+    def test_init_sweeps_stale_temp_files(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        (root / ".tmp-old.part").write_text("{}", encoding="utf-8")
+        (root / ".tmp-old.json").write_text("{}", encoding="utf-8")
+        (root / "keep.json").write_text('{"format": 1}', encoding="utf-8")
+        cache = PolicyCache(root)
+        assert sorted(p.name for p in root.iterdir()) == ["keep.json"]
+        assert len(cache) == 1
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = PolicyCache(tmp_path / "cache")
+        for index in range(3):
+            cache.put(f"key{index}", {"format": 1, "index": index})
+        leftovers = [p.name for p in cache.root.iterdir()
+                     if p.name.startswith(".")]
+        assert leftovers == []
+        assert len(cache) == 3
+
+    def test_stats_tracks_hits_and_misses(self, tmp_path):
+        cache = PolicyCache(tmp_path / "cache")
+        assert cache.stats() == (0, 0)
+        assert cache.get("absent") is None
+        cache.put("present", {"format": 1})
+        assert cache.get("present") == {"format": 1}
+        assert cache.stats() == (1, 1)

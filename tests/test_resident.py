@@ -150,3 +150,18 @@ class TestPopulation:
     def test_count_positive(self, tea_adl):
         with pytest.raises(ValueError):
             generate_population(tea_adl, 0, RandomStreams(0))
+
+    def test_inverted_severity_range_rejected(self, tea_adl):
+        with pytest.raises(ValueError, match="max_severity"):
+            generate_population(tea_adl, 5, RandomStreams(0),
+                                max_severity=0.05)
+
+    def test_severity_above_one_rejected(self, tea_adl):
+        with pytest.raises(ValueError, match="max_severity"):
+            generate_population(tea_adl, 5, RandomStreams(0),
+                                max_severity=1.5)
+
+    def test_inverted_age_range_rejected(self, tea_adl):
+        with pytest.raises(ValueError, match="min_age"):
+            generate_population(tea_adl, 5, RandomStreams(0),
+                                min_age=90, max_age=80)
