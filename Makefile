@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench fleet-bench report
+.PHONY: lint test bench fleet-bench kernel-bench report
 
 lint:
 	$(PYTHON) -m repro lint src/repro
@@ -14,6 +14,9 @@ bench:
 
 fleet-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_fleet.py --benchmark-only -s
+
+kernel-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py --benchmark-only -s
 
 report:
 	$(PYTHON) -m repro report

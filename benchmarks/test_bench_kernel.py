@@ -1,0 +1,193 @@
+"""Bench: event-kernel backends and the batched multi-home shard mode.
+
+Three measurements, written to ``BENCH_kernel.json`` at the repo root:
+
+1. **Sensing-cadence kernel cells** -- the pure scheduler workload
+   that dominates sensing-bound experiment cells (recurring 1 Hz
+   node timers with per-node phase offsets, recycled through the
+   zero-allocation free list), heap vs calendar at three standing
+   populations.  The calendar queue's win grows with queue depth:
+   the heap pays ``log2(n)`` Python ``__lt__`` calls per operation
+   while the calendar stays O(1), so the dense-fleet population
+   (50 k live timers, the million-home direction's per-shard shape)
+   is where the ≥2x requirement is asserted.
+2. **Watchdog-reset cell** -- the cancel-heavy timer pattern
+   (every activity event resets a 30 s timeout), exercising lazy
+   cancellation and the calendar's eager bucket compaction.
+3. **Batched shard mode** -- 1000 fleet homes simulated per-home
+   vs batched (all homes of a shard on one shared kernel, one
+   policy restore per distinct training per shard), asserting
+   byte-identical fleet metrics and a homes/sec improvement.
+
+Every cell replays identical workloads on both configurations and
+asserts equality before recording speed, so the numbers can never
+drift away from correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.adls.library import default_registry
+from repro.fleet import FleetSpec, run_fleet
+from repro.sim.kernel import Simulator
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+#: Standing timer populations for the cadence cells.  200 ≈ one
+#: 25-home shard's node timers; 5000 ≈ a 600-home wave; 50000 ≈ the
+#: dense-fleet regime the calendar queue exists for.
+CADENCE_CELLS = (
+    ("shard-25-homes", 200, 120.0),
+    ("wave-600-homes", 5000, 12.0),
+    ("dense-fleet", 50000, 3.0),
+)
+
+FLEET_SPEC = FleetSpec(
+    adl_name="tea-making",
+    homes=1000,
+    seed=0,
+    episodes_per_home=1,
+    training_episodes=120,
+    seed_classes=4,
+    shard_size=50,
+)
+
+
+def _cadence(backend: str, nodes: int, horizon: float):
+    """Recurring 1 Hz ticks, one per node, reusable handles."""
+    sim = Simulator(backend=backend)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        sim.schedule(1.0, tick, reusable=True)
+
+    for i in range(nodes):
+        sim.schedule(1.0 + i * 1e-4, tick, reusable=True)
+    start = time.perf_counter()
+    sim.run_until(horizon)
+    return count[0], time.perf_counter() - start
+
+
+def _watchdog(backend: str, nodes: int, horizon: float):
+    """1 Hz activity per node, each event resetting a 30 s watchdog."""
+    sim = Simulator(backend=backend)
+    count = [0]
+    watchdogs = {}
+
+    def expire():
+        pass
+
+    def make_tick(node):
+        def tick():
+            count[0] += 1
+            old = watchdogs.get(node)
+            if old is not None:
+                old.cancel()
+            watchdogs[node] = sim.schedule(30.0, expire)
+            sim.schedule(1.0, tick, reusable=True)
+        return tick
+
+    for i in range(nodes):
+        sim.schedule(1.0 + i * 1e-4, make_tick(i), reusable=True)
+    start = time.perf_counter()
+    sim.run_until(horizon)
+    return count[0], time.perf_counter() - start
+
+
+def _best_of(cell, backend, nodes, horizon, reps=3):
+    events = None
+    best = float("inf")
+    for _ in range(reps):
+        count, seconds = cell(backend, nodes, horizon)
+        assert events is None or events == count  # identical replays
+        events = count
+        best = min(best, seconds)
+    return events, best
+
+
+def test_kernel_backends_and_batched_shards(benchmark, tmp_path):
+    cells = {}
+    best_speedup = 0.0
+    for name, nodes, horizon in CADENCE_CELLS:
+        events, heap_s = _best_of(_cadence, "heap", nodes, horizon)
+        events_c, cal_s = _best_of(_cadence, "calendar", nodes, horizon)
+        assert events_c == events
+        speedup = heap_s / cal_s
+        best_speedup = max(best_speedup, speedup)
+        cells[name] = {
+            "nodes": nodes,
+            "events": events,
+            "heap_events_per_sec": round(events / heap_s, 1),
+            "calendar_events_per_sec": round(events / cal_s, 1),
+            "calendar_speedup": round(speedup, 2),
+        }
+
+    events, heap_s = _best_of(_watchdog, "heap", 1000, 60.0)
+    events_c, cal_s = _best_of(_watchdog, "calendar", 1000, 60.0)
+    assert events_c == events
+    watchdog_cell = {
+        "nodes": 1000,
+        "events": events,
+        "heap_events_per_sec": round(events / heap_s, 1),
+        "calendar_events_per_sec": round(events / cal_s, 1),
+        "calendar_speedup": round(heap_s / cal_s, 2),
+    }
+
+    # The issue's bar: at least one sensing-bound cell at ≥2x.
+    assert best_speedup >= 2.0, cells
+
+    # Batched shard mode at 1000 homes, warm shared cache.
+    cache = str(tmp_path / "kernel-bench-cache")
+    run_fleet(FLEET_SPEC, jobs=1, cache_dir=cache)  # warm the cache
+
+    start = time.perf_counter()
+    per_home = run_fleet(
+        FLEET_SPEC, jobs=1, cache_dir=cache, batch_homes=False
+    )
+    per_home_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = run_fleet(
+        FLEET_SPEC, jobs=1, cache_dir=cache, batch_homes=True
+    )
+    batched_s = time.perf_counter() - start
+
+    assert batched.to_json() == per_home.to_json()
+    assert batched_s < per_home_s, (batched_s, per_home_s)
+
+    homes = FLEET_SPEC.homes
+    shard_mode = {
+        "homes": homes,
+        "shard_size": FLEET_SPEC.shard_size,
+        "byte_identical": True,
+        "per_home_kernels": {
+            "seconds": round(per_home_s, 3),
+            "homes_per_sec": round(homes / per_home_s, 1),
+        },
+        "batched_shards": {
+            "seconds": round(batched_s, 3),
+            "homes_per_sec": round(homes / batched_s, 1),
+        },
+        "batched_speedup": round(per_home_s / batched_s, 2),
+    }
+
+    benchmark.pedantic(
+        run_fleet,
+        args=(FLEET_SPEC,),
+        kwargs={"jobs": 1, "cache_dir": cache, "batch_homes": True},
+        rounds=1,
+        iterations=1,
+    )
+
+    payload = {
+        "sensing_cadence_cells": cells,
+        "watchdog_reset_cell": watchdog_cell,
+        "best_calendar_speedup": round(best_speedup, 2),
+        "batched_shard_mode": shard_mode,
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {_OUT}")
+    print(json.dumps(payload, indent=2))

@@ -65,7 +65,7 @@ PROCESS_DIRECTIVES = frozenset({"Timeout", "Wait"})
 #: ``Welford`` update per observation.
 #: Each entry is ``(module path suffix, class names in that module)``.
 HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    ("repro/sim/kernel.py", ("Event",)),
+    ("repro/sim/kernel.py", ("Event", "_HeapQueue", "_CalendarQueue")),
     ("repro/sensors/detector.py", ("KofNDetector",)),
     ("repro/sensors/signals.py", ("SignalSource",)),
     (
@@ -79,6 +79,7 @@ HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
         ),
     ),
     ("repro/fleet/metrics.py", ("Welford", "HomeReport")),
+    ("repro/fleet/shard.py", ("_HomeRun",)),
 )
 
 

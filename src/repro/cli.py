@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (output is byte-identical "
                        "for every N)")
+    fleet.add_argument("--shard-mode", choices=("batched", "per-home"),
+                       default="batched",
+                       help="run each shard's homes on one shared event "
+                       "kernel (batched, default) or one kernel per home; "
+                       "never affects the output bytes")
     fleet.add_argument("--cache", metavar="DIR",
                        help="trained-policy cache directory (default: a "
                        "private per-run directory)")
@@ -304,7 +309,12 @@ def _cmd_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     except ValueError as exc:
         parser.error(str(exc))
     start = time.perf_counter()  # repro: allow[DET002] timing display only
-    result = run_fleet(spec, jobs=args.jobs, cache_dir=args.cache)
+    result = run_fleet(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        batch_homes=args.shard_mode == "batched",
+    )
     elapsed = time.perf_counter() - start  # repro: allow[DET002] timing display only
     print(result.to_json() if args.json else result.to_text())
     if args.timing:

@@ -20,12 +20,46 @@ from dataclasses import dataclass, field, replace
 from repro.core.errors import ConfigurationError
 
 __all__ = [
+    "SimConfig",
     "SensingConfig",
     "RadioConfig",
     "PlanningConfig",
     "RemindingConfig",
     "CoReDAConfig",
 ]
+
+
+def _default_kernel_backend() -> str:
+    """Process-wide default kernel backend, overridable via environment.
+
+    The backends run byte-identically (see docs/architecture.md), so
+    the knob only selects a speed profile; the env hook lets benches
+    A/B the full pipeline without threading a parameter through every
+    construction site (the ``REPRO_Q_BACKEND`` pattern).
+    """
+    return os.environ.get("REPRO_KERNEL_BACKEND", "calendar")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Discrete-event kernel parameters (no paper analogue: pure speed)."""
+
+    #: Event-queue backend: "calendar" (bucketed timing wheel) or
+    #: "heap" (the reference binary heap).  Byte-identical outputs.
+    kernel_backend: str = field(default_factory=_default_kernel_backend)
+    #: Calendar-queue bucket width in simulated seconds.  Tuned for
+    #: the 10 Hz sampling traffic (one block event per node-second
+    #: plus millisecond radio offsets); ignored by the heap backend.
+    bucket_width: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kernel_backend not in ("heap", "calendar"):
+            raise ConfigurationError(
+                "kernel_backend must be 'heap' or 'calendar', got "
+                f"{self.kernel_backend!r}"
+            )
+        if self.bucket_width <= 0:
+            raise ConfigurationError("bucket_width must be positive")
 
 
 @dataclass(frozen=True)
@@ -220,6 +254,7 @@ class RemindingConfig:
 class CoReDAConfig:
     """Top-level configuration aggregating all subsystems."""
 
+    sim: SimConfig = field(default_factory=SimConfig)
     sensing: SensingConfig = field(default_factory=SensingConfig)
     radio: RadioConfig = field(default_factory=RadioConfig)
     planning: PlanningConfig = field(default_factory=PlanningConfig)

@@ -20,12 +20,14 @@ from repro.core.config import (
     RadioConfig,
     RemindingConfig,
     SensingConfig,
+    SimConfig,
 )
 from repro.core.errors import ConfigurationError
 
 __all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
 
 _SECTIONS: Dict[str, Type] = {
+    "sim": SimConfig,
     "sensing": SensingConfig,
     "radio": RadioConfig,
     "planning": PlanningConfig,

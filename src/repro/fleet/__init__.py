@@ -17,6 +17,7 @@ repo's determinism contract: byte-identical fleet metrics at any
 from repro.fleet.executor import FleetResult, run_fleet
 from repro.fleet.home import simulate_home
 from repro.fleet.metrics import FleetMetrics, HomeReport, Welford
+from repro.fleet.shard import ShardSimulator, simulate_shard
 from repro.fleet.spec import FleetSpec, HomeSpec, distinct_trainings
 
 __all__ = [
@@ -25,8 +26,10 @@ __all__ = [
     "FleetSpec",
     "HomeReport",
     "HomeSpec",
+    "ShardSimulator",
     "Welford",
     "distinct_trainings",
     "run_fleet",
     "simulate_home",
+    "simulate_shard",
 ]

@@ -15,6 +15,12 @@ Execution happens in two waves over one persistent
    accumulator (plus the worker-side cache hit/miss counters) crosses
    back to the parent.
 
+Wave 2 has two execution modes.  The default **batched** mode runs
+every home of a shard on one shared event kernel
+(:mod:`repro.fleet.shard`); ``batch_homes=False`` falls back to one
+private kernel per home.  The two are byte-identical -- the mode is a
+speed knob, not a semantics knob -- and the tests cross-check them.
+
 Both waves go through :func:`repro.evalx.parallel.run_cells`, so they
 inherit its ordered-merge contract and bounded-window submission: the
 fleet result is byte-identical at any ``--jobs``, and the parent
@@ -34,6 +40,7 @@ from repro.core.config import CoReDAConfig
 from repro.evalx.parallel import Cell, WorkerPool, run_cells
 from repro.fleet.home import simulate_home, train_home_policy
 from repro.fleet.metrics import FleetMetrics
+from repro.fleet.shard import simulate_shard
 from repro.fleet.spec import FleetSpec, HomeSpec, distinct_trainings
 from repro.planning.store import PolicyCache
 
@@ -95,6 +102,7 @@ def _shard_cell(
     episodes: int,
     training_episodes: int,
     cache_dir: str,
+    batch_homes: bool,
 ) -> Tuple[FleetMetrics, int, int]:
     """Wave-2 worker: simulate one shard of homes.
 
@@ -105,12 +113,19 @@ def _shard_cell(
     definition = default_registry().get(adl_name)
     cache = PolicyCache(cache_dir)
     metrics = FleetMetrics()
-    for home in homes:
-        metrics.add_home(
-            simulate_home(
-                definition, home, config, episodes, training_episodes, cache
+    if batch_homes:
+        for report in simulate_shard(
+            definition, homes, config, episodes, training_episodes, cache
+        ):
+            metrics.add_home(report)
+    else:
+        for home in homes:
+            metrics.add_home(
+                simulate_home(
+                    definition, home, config, episodes, training_episodes,
+                    cache,
+                )
             )
-        )
     hits, misses = cache.stats()
     return metrics, hits, misses
 
@@ -121,13 +136,16 @@ def run_fleet(
     config: Optional[CoReDAConfig] = None,
     cache_dir: Optional[str] = None,
     window: Optional[int] = None,
+    batch_homes: bool = True,
 ) -> FleetResult:
     """Run a whole fleet; byte-identical result at any ``jobs``.
 
     ``cache_dir`` shares trained policies across runs (and with the
     ``repro report`` cache); without it a private cache directory is
     created for the run and removed afterwards -- policy sharing
-    *within* the fleet works either way.
+    *within* the fleet works either way.  ``batch_homes`` selects the
+    batched shard kernel (default) or the per-home reference path;
+    both produce the same result byte for byte.
     """
     definition = default_registry().get(spec.adl_name)
     if config is None:
@@ -168,6 +186,7 @@ def run_fleet(
                         spec.episodes_per_home,
                         spec.training_episodes,
                         cache_dir,
+                        batch_homes,
                     ),
                     label=f"fleet.shard[{index}]",
                 )

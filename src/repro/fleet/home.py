@@ -7,7 +7,10 @@ SHA-256-derived seed), resolve the trained policy through the shared
 episodes, and distill the outcome into a single
 :class:`~repro.fleet.metrics.HomeReport`.  Everything here is a pure
 function of the spec -- a home simulates identically whichever shard
-or worker process it lands in.
+or worker process it lands in, **and** whether it runs on its own
+kernel (this module) or batched with its shard-mates into one shared
+kernel (:mod:`repro.fleet.shard`); the two paths share the
+deployment/harvest helpers below so they cannot drift apart.
 """
 
 from __future__ import annotations
@@ -23,8 +26,18 @@ from repro.fleet.spec import HomeSpec
 from repro.planning.store import PolicyCache, train_routine_cached
 from repro.resident.compliance import ComplianceModel
 from repro.resident.dementia import DementiaProfile
+from repro.sim.kernel import Simulator
 
-__all__ = ["simulate_home", "train_home_policy"]
+__all__ = [
+    "simulate_home",
+    "train_home_policy",
+    "resolve_home_predictor",
+    "build_home_deployment",
+    "home_compliance",
+    "reliable_handling",
+    "create_home_resident",
+    "harvest_home_report",
+]
 
 
 def train_home_policy(
@@ -51,50 +64,106 @@ def train_home_policy(
     )
 
 
-def simulate_home(
+def resolve_home_predictor(
     definition: ADLDefinition,
     home: HomeSpec,
     config: CoReDAConfig,
-    episodes: int,
     training_episodes: int,
     cache: Optional[PolicyCache],
-    horizon: float = 3600.0,
-) -> HomeReport:
-    """Run one home's guided episodes; return its distilled report."""
+):
+    """The home's deployed policy, restored through the cache.
+
+    The predictor is a read-only greedy lookup over the trained
+    Q-table, so callers may share one instance across every home
+    with the same :attr:`~repro.fleet.spec.HomeSpec.training_key`
+    (the batched shard mode does) without perturbing a single byte.
+    """
     cached = train_home_policy(
         definition, home, config, training_episodes, cache
     )
-    system = CoReDA(definition, config.with_seed(home.seed))
-    system.deploy_predictor(cached.predictor(definition.adl))
-    routine = Routine(definition.adl, list(home.routine_ids))
-    reliable = {
-        step.step_id: max(step.handling_duration, 5.0)
-        for step in definition.adl.steps
-    }
-    compliance = ComplianceModel(
+    return cached.predictor(definition.adl)
+
+
+def build_home_deployment(
+    definition: ADLDefinition,
+    home: HomeSpec,
+    config: CoReDAConfig,
+    training_episodes: int,
+    cache: Optional[PolicyCache],
+    sim: Optional[Simulator] = None,
+    predictor=None,
+) -> CoReDA:
+    """One home's live deployment, policy resolved and deployed.
+
+    ``sim`` shares a kernel across homes (the batched shard mode);
+    left ``None``, the home gets a private kernel.  Either way the
+    home's random streams derive from its own SHA-256 seed, so the
+    event *content* is identical -- only the queue it shares differs.
+    ``predictor`` skips the per-home cache restore when the caller
+    already holds the home's policy (see
+    :func:`resolve_home_predictor`).
+    """
+    if predictor is None:
+        predictor = resolve_home_predictor(
+            definition, home, config, training_episodes, cache
+        )
+    system = CoReDA(definition, config.with_seed(home.seed), sim=sim)
+    system.deploy_predictor(predictor)
+    return system
+
+
+def home_compliance(home: HomeSpec) -> ComplianceModel:
+    """The home's compliance model, rebuilt from its scalar spec."""
+    return ComplianceModel(
         minimal_response=home.minimal_response,
         specific_response=home.specific_response,
         delay_mean=home.delay_mean,
         delay_sd=1.0,
     )
-    completed = 0
-    reminders_seen = 0
-    reminders_followed = 0
-    self_recoveries = 0
-    for episode in range(episodes):
-        resident = system.create_resident(
-            routine=routine,
-            dementia=DementiaProfile.from_severity(home.severity),
-            compliance=compliance,
-            handling_overrides=reliable,
-            error_use_duration=5.0,
-            name=f"home-{home.home_id}.{episode}",
-        )
-        outcome = system.run_episode(resident, horizon=horizon)
-        completed += int(outcome.completed)
-        reminders_seen += outcome.reminders_seen
-        reminders_followed += outcome.reminders_followed
-        self_recoveries += outcome.self_recoveries
+
+
+def reliable_handling(definition: ADLDefinition) -> dict:
+    """Per-step handling durations long enough to register reliably."""
+    return {
+        step.step_id: max(step.handling_duration, 5.0)
+        for step in definition.adl.steps
+    }
+
+
+def create_home_resident(
+    system: CoReDA,
+    home: HomeSpec,
+    routine: Routine,
+    compliance: ComplianceModel,
+    reliable: dict,
+    episode: int,
+):
+    """The resident for one of the home's guided episodes."""
+    return system.create_resident(
+        routine=routine,
+        dementia=DementiaProfile.from_severity(home.severity),
+        compliance=compliance,
+        handling_overrides=reliable,
+        error_use_duration=5.0,
+        name=f"home-{home.home_id}.{episode}",
+    )
+
+
+def harvest_home_report(
+    system: CoReDA,
+    home: HomeSpec,
+    episodes: int,
+    completed: int,
+    reminders_seen: int,
+    reminders_followed: int,
+    self_recoveries: int,
+) -> HomeReport:
+    """Distill a finished home's session into its report.
+
+    Called at the simulated instant the home's last episode completes
+    -- both execution modes harvest the same state, so the reports
+    are byte-identical between them.
+    """
     session = system.session
     minimal = sum(
         1
@@ -115,4 +184,44 @@ def simulate_home(
         self_recoveries=self_recoveries,
         reminders_seen=reminders_seen,
         reminders_followed=reminders_followed,
+    )
+
+
+def simulate_home(
+    definition: ADLDefinition,
+    home: HomeSpec,
+    config: CoReDAConfig,
+    episodes: int,
+    training_episodes: int,
+    cache: Optional[PolicyCache],
+    horizon: float = 3600.0,
+) -> HomeReport:
+    """Run one home's guided episodes on a private kernel."""
+    system = build_home_deployment(
+        definition, home, config, training_episodes, cache
+    )
+    routine = Routine(definition.adl, list(home.routine_ids))
+    reliable = reliable_handling(definition)
+    compliance = home_compliance(home)
+    completed = 0
+    reminders_seen = 0
+    reminders_followed = 0
+    self_recoveries = 0
+    for episode in range(episodes):
+        resident = create_home_resident(
+            system, home, routine, compliance, reliable, episode
+        )
+        outcome = system.run_episode(resident, horizon=horizon)
+        completed += int(outcome.completed)
+        reminders_seen += outcome.reminders_seen
+        reminders_followed += outcome.reminders_followed
+        self_recoveries += outcome.self_recoveries
+    return harvest_home_report(
+        system,
+        home,
+        episodes,
+        completed,
+        reminders_seen,
+        reminders_followed,
+        self_recoveries,
     )

@@ -1,0 +1,286 @@
+"""Batched shard simulation: one kernel, every home of the shard.
+
+:func:`repro.fleet.home.simulate_home` runs each home on a private
+:class:`~repro.sim.kernel.Simulator`, so a 50-home shard pays for 50
+kernels, 50 network boots and 50 cold caches of everything the
+interpreter touches per event loop.  The batched mode here loads all
+homes of a shard into **one** shared kernel and lets their event
+streams interleave on the common clock.
+
+Byte-identity with the per-home path falls out of three facts:
+
+* every home starts at t=0 and its event *times* depend only on its
+  own state and its own SHA-256-derived random streams, so absolute
+  timestamps match the standalone run exactly;
+* relative order of any two events of the *same* home is preserved
+  (sequence numbers are assigned monotonically, and interleaving
+  other homes' events only creates gaps, never reordering), while
+  cross-home order is irrelevant -- homes share no mutable state
+  (each keeps its own bus, network, trace and streams: per-home
+  event namespacing);
+* each home's episodes chain and harvest *inside* the finishing
+  event's callback, i.e. at the exact simulated instant the
+  standalone driver loop would observe, before any same-instant
+  later-sequence event has fired.
+
+The tests cross-check report-for-report equality between the two
+modes, across kernel backends and across ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.adls.library import ADLDefinition
+from repro.core.adl import Routine
+from repro.core.config import CoReDAConfig
+from repro.core.errors import CoReDAError
+from repro.fleet.home import (
+    build_home_deployment,
+    create_home_resident,
+    harvest_home_report,
+    home_compliance,
+    reliable_handling,
+    resolve_home_predictor,
+)
+from repro.fleet.metrics import HomeReport
+from repro.fleet.spec import HomeSpec
+from repro.planning.store import PolicyCache
+from repro.sim.kernel import Simulator
+
+__all__ = ["ShardSimulator", "simulate_shard"]
+
+
+class _HomeRun:
+    """One home's episode chain on the shared kernel."""
+
+    __slots__ = (
+        "shard",
+        "home",
+        "system",
+        "routine",
+        "reliable",
+        "compliance",
+        "episodes",
+        "horizon",
+        "episode",
+        "completed",
+        "reminders_seen",
+        "reminders_followed",
+        "self_recoveries",
+        "report",
+        "_watchdog",
+    )
+
+    def __init__(
+        self,
+        shard: "ShardSimulator",
+        home: HomeSpec,
+        system,
+        episodes: int,
+        horizon: float,
+    ) -> None:
+        self.shard = shard
+        self.home = home
+        self.system = system
+        self.routine = Routine(system.adl, list(home.routine_ids))
+        self.reliable = reliable_handling(system.definition)
+        self.compliance = home_compliance(home)
+        self.episodes = episodes
+        self.horizon = horizon
+        self.episode = 0
+        self.completed = 0
+        self.reminders_seen = 0
+        self.reminders_followed = 0
+        self.self_recoveries = 0
+        self.report: Optional[HomeReport] = None
+        self._watchdog = None
+
+    def begin_episode(self) -> None:
+        """Start the next guided episode at the current instant."""
+        system = self.system
+        resident = create_home_resident(
+            system,
+            self.home,
+            self.routine,
+            self.compliance,
+            self.reliable,
+            self.episode,
+        )
+        process = resident.start_episode()
+        deadline = system.sim.now + self.horizon
+
+        def on_timeout() -> None:
+            raise CoReDAError(
+                f"home {self.home.home_id}: episode {self.episode} did "
+                f"not complete within {self.horizon}s of simulated time"
+            )
+
+        self._watchdog = system.sim.schedule_at(deadline, on_timeout)
+
+        def on_finished(_result) -> None:
+            self._watchdog.cancel()
+            self._watchdog = None
+            # Same order as the standalone episode driver: planning
+            # first, then sensing, at the completion instant (before
+            # any same-instant later-sequence event fires).
+            system.planning.reset_episode()
+            system.sensing.reset_episode()
+            outcome = resident.outcome
+            assert outcome is not None
+            self.completed += int(outcome.completed)
+            self.reminders_seen += outcome.reminders_seen
+            self.reminders_followed += outcome.reminders_followed
+            self.self_recoveries += outcome.self_recoveries
+            self.episode += 1
+            if self.episode < self.episodes:
+                self.begin_episode()
+            else:
+                self._harvest()
+
+        process.finished.subscribe(on_finished)
+
+    def _harvest(self) -> None:
+        self.report = harvest_home_report(
+            self.system,
+            self.home,
+            self.episodes,
+            self.completed,
+            self.reminders_seen,
+            self.reminders_followed,
+            self.self_recoveries,
+        )
+        # The home is done; stop its sensor network so its recurring
+        # block events stop burning shared-kernel cycles while the
+        # shard's slower homes finish.  The report is already
+        # captured by value, so late state changes cannot leak in.
+        self.system.network.stop()
+        self.shard._finished(self)
+
+
+class ShardSimulator:
+    """All homes of one fleet shard on a single event kernel.
+
+    Build it, :meth:`load` every home, then :meth:`run`.  Reports
+    come back in load order regardless of which home finishes first,
+    so the shard's Welford merge order -- and therefore the fleet
+    metrics -- match the per-home path byte for byte.
+    """
+
+    #: Simulated seconds per fused ``run_until`` segment of :meth:`run`.
+    #: Coarse enough that the kernel's single-walk fast path does the
+    #: driving (no per-event ``peek``/``step`` round trips), fine
+    #: enough that the driver notices all homes finishing promptly.
+    _CHUNK = 600.0
+
+    def __init__(self, config: CoReDAConfig) -> None:
+        self.config = config
+        self.sim = Simulator(
+            backend=config.sim.kernel_backend,
+            bucket_width=config.sim.bucket_width,
+        )
+        self._runs: List[_HomeRun] = []
+        self._active = 0
+        self._predictors: dict = {}
+
+    def load(
+        self,
+        definition: ADLDefinition,
+        home: HomeSpec,
+        episodes: int,
+        training_episodes: int,
+        cache: Optional[PolicyCache],
+        horizon: float = 3600.0,
+    ) -> None:
+        """Deploy one home onto the shared kernel and queue episode 0."""
+        predictor = self._resolve_predictor(
+            definition, home, training_episodes, cache
+        )
+        system = build_home_deployment(
+            definition, home, self.config, training_episodes, cache,
+            sim=self.sim, predictor=predictor,
+        )
+        system.start()
+        run = _HomeRun(self, home, system, episodes, horizon)
+        self._runs.append(run)
+        self._active += 1
+        run.begin_episode()
+
+    def _resolve_predictor(
+        self,
+        definition: ADLDefinition,
+        home: HomeSpec,
+        training_episodes: int,
+        cache: Optional[PolicyCache],
+    ):
+        """One cache restore per distinct training per shard.
+
+        The per-home path deserializes the cached training document
+        (disk read, JSON parse, Q-table rebuild) once per *home*;
+        shard-mates sharing a training key share the restored
+        read-only predictor instead.  Memoized reuse still counts as
+        a cache hit -- the policy *was* served from that cache entry,
+        and the counters must not depend on the shard layout.
+        """
+        key = home.training_key
+        predictor = self._predictors.get(key)
+        if predictor is None:
+            predictor = resolve_home_predictor(
+                definition, home, self.config, training_episodes, cache
+            )
+            self._predictors[key] = predictor
+        elif cache is not None:
+            cache.hits += 1
+        return predictor
+
+    def _finished(self, run: _HomeRun) -> None:
+        self._active -= 1
+
+    def run(self) -> List[HomeReport]:
+        """Drive the shared kernel until every loaded home reports.
+
+        Advances in coarse :attr:`_CHUNK` segments through the
+        kernel's fused ``run_until`` loop.  Events of already-
+        finished homes that straggle inside a segment are harmless:
+        their reports were captured by value at harvest time.
+        """
+        sim = self.sim
+        while self._active > 0:
+            if sim.peek() is None:
+                unfinished = [
+                    run.home.home_id
+                    for run in self._runs
+                    if run.report is None
+                ]
+                raise CoReDAError(
+                    f"shard kernel drained with unfinished homes: "
+                    f"{unfinished}"
+                )
+            sim.run_until(sim.now + self._CHUNK)
+        reports = []
+        for run in self._runs:
+            assert run.report is not None
+            reports.append(run.report)
+        return reports
+
+
+def simulate_shard(
+    definition: ADLDefinition,
+    homes: Sequence[HomeSpec],
+    config: CoReDAConfig,
+    episodes: int,
+    training_episodes: int,
+    cache: Optional[PolicyCache],
+    horizon: float = 3600.0,
+) -> List[HomeReport]:
+    """Batched counterpart of mapping ``simulate_home`` over ``homes``.
+
+    Returns the homes' reports in input order; byte-identical to the
+    per-home path (see the module docstring for why).
+    """
+    shard = ShardSimulator(config)
+    for home in homes:
+        shard.load(
+            definition, home, episodes, training_episodes, cache, horizon
+        )
+    return shard.run()

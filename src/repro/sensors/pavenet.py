@@ -159,7 +159,11 @@ class PavenetNode:
         self._block_source_state: Optional[SourceState] = None
         self._block_detector_state: Optional[DetectorState] = None
         self._block_agc_state: Optional[Tuple[float, int]] = None
-        self._block_pending: List[Event] = []
+        # (scheduled time, event) pairs: the time rides along because
+        # the events are scheduled ``reusable`` -- once one has fired
+        # the kernel may recycle the object, so pruning decisions must
+        # never read fields off a handle that might be dead.
+        self._block_pending: List[Tuple[float, Event]] = []
         source.subscribe_regime(self._on_regime_change)
         radio.attach(self.uid, self._on_frame)
 
@@ -173,7 +177,9 @@ class PavenetNode:
             )
             return
         self._block_running = True
-        self._block_event = self.sim.schedule(0.0, self._process_block)
+        self._block_event = self.sim.schedule(
+            0.0, self._process_block, reusable=True
+        )
 
     def stop(self) -> None:
         """Power the node down (sampling stops, radio stays attached)."""
@@ -186,8 +192,8 @@ class PavenetNode:
                 self._block_event.cancel()
                 self._block_event = None
             now = self.sim.now
-            for event in self._block_pending:
-                if event.time > now:
+            for time, event in self._block_pending:
+                if time > now:
                     event.cancel()
             self._block_pending = []
             self._block_t0 = None
@@ -284,8 +290,14 @@ class PavenetNode:
                 if index == 0:
                     self._report_usage()
                 else:
+                    time = times[index]
                     pending.append(
-                        sim.schedule_at(times[index], self._report_usage)
+                        (
+                            time,
+                            sim.schedule_at(
+                                time, self._report_usage, reusable=True
+                            ),
+                        )
                     )
             last = times[-1]
         else:
@@ -295,7 +307,9 @@ class PavenetNode:
         self._block_t0 = t0
         self._block_n = n
         self._block_last = last
-        self._block_event = sim.schedule_at(last + period, self._process_block)
+        self._block_event = sim.schedule_at(
+            last + period, self._process_block, reusable=True
+        )
 
     def _detect(self, values) -> Sequence[int]:
         """Run the detector over a value block; return detecting indices."""
@@ -333,15 +347,16 @@ class PavenetNode:
         times = self._block_sample_times(t0, self._block_n)
         j = bisect_right(times, now)
         # Usage reports drawn from the stale tail must not fire.
-        kept: List[Event] = []
-        for event in self._block_pending:
-            if event.time > now:
+        kept: List[Tuple[float, Event]] = []
+        for time, event in self._block_pending:
+            if time > now:
                 event.cancel()
             else:
-                kept.append(event)
+                kept.append((time, event))
         self._block_pending = kept
         if self._block_event is not None:
             self._block_event.cancel()
+            self._block_event = None
         source = self.source
         post_active = source.active
         post_until = source.active_until
@@ -356,7 +371,9 @@ class PavenetNode:
             self._detect(source.read_block_at(times[:j]))
         source.set_regime(post_active, post_until)
         self._block_t0 = None
-        self._block_event = sim.schedule_at(times[j], self._process_block)
+        self._block_event = sim.schedule_at(
+            times[j], self._process_block, reusable=True
+        )
 
     # ----- shared machinery --------------------------------------------
 

@@ -374,6 +374,12 @@ class TestPerf001Slots:
             @dataclass(slots=True)
             class Event:
                 seq: int
+
+            class _HeapQueue:
+                __slots__ = ("_heap",)
+
+            class _CalendarQueue:
+                __slots__ = ("_buckets",)
             """,
             "PERF001",
             path="src/repro/sim/kernel.py",

@@ -255,6 +255,73 @@ class TestFleetDeterminism:
         assert cold_dict == serial_dict
 
 
+class TestShardModes:
+    """Batched shared-kernel shards vs the per-home reference path."""
+
+    @staticmethod
+    def _report_fields(report):
+        return [
+            (slot, getattr(report, slot)) for slot in HomeReport.__slots__
+        ]
+
+    def test_simulate_shard_matches_per_home_reports(
+        self, tea_fleet_definition, tmp_path
+    ):
+        from repro.core.config import CoReDAConfig
+        from repro.fleet import simulate_home, simulate_shard
+        from repro.planning.store import PolicyCache
+
+        homes = SPEC.expand(tea_fleet_definition)[:4]
+        config = CoReDAConfig(seed=SPEC.seed)
+        cache = PolicyCache(str(tmp_path / "cache"))
+        batched = simulate_shard(
+            tea_fleet_definition, homes, config,
+            SPEC.episodes_per_home, SPEC.training_episodes, cache,
+        )
+        per_home = [
+            simulate_home(
+                tea_fleet_definition, home, config,
+                SPEC.episodes_per_home, SPEC.training_episodes, cache,
+            )
+            for home in homes
+        ]
+        assert [self._report_fields(r) for r in batched] == [
+            self._report_fields(r) for r in per_home
+        ]
+
+    def test_batched_fleet_matches_per_home_fleet(self, serial_result):
+        per_home = run_fleet(SPEC, jobs=1, batch_homes=False)
+        assert per_home.to_json() == serial_result.to_json()
+
+    def test_batched_fleet_byte_identical_across_jobs(self, serial_result):
+        assert run_fleet(SPEC, jobs=3, batch_homes=True).to_json() == (
+            serial_result.to_json()
+        )
+
+    def test_kernel_backends_identical_in_batched_mode(self, serial_result):
+        from repro.core.config import CoReDAConfig, SimConfig
+
+        heap = run_fleet(
+            SPEC,
+            jobs=1,
+            config=CoReDAConfig(
+                seed=SPEC.seed, sim=SimConfig(kernel_backend="heap")
+            ),
+        )
+        assert heap.to_json() == serial_result.to_json()
+
+    def test_cli_shard_mode_flag(self, capsys):
+        argv = [
+            "fleet", "--homes", "4", "--train-episodes", "40",
+            "--seed-classes", "2", "--shard-size", "2", "--json",
+        ]
+        assert main(argv + ["--shard-mode", "per-home"]) == 0
+        per_home = capsys.readouterr().out
+        assert main(argv + ["--shard-mode", "batched"]) == 0
+        batched = capsys.readouterr().out
+        assert json.loads(batched) == json.loads(per_home)
+
+
 class TestFleetCli:
     def test_text_output(self, capsys):
         code = main([

@@ -5,6 +5,13 @@ import pytest
 from repro.sim.kernel import Signal, SimulationError, Simulator
 
 
+@pytest.fixture(params=["heap", "calendar"])
+def sim(request) -> Simulator:
+    """Override the shared fixture: every kernel test runs on both
+    backends (they promise identical semantics, so identical tests)."""
+    return Simulator(backend=request.param)
+
+
 class TestScheduling:
     def test_starts_at_time_zero(self, sim):
         assert sim.now == 0.0
@@ -164,6 +171,40 @@ class TestSignal:
         signal.subscribe(first)
         signal.fire(None)
         assert seen == ["first"]
+
+    def test_subscriber_removed_during_fire_not_called(self):
+        # Regression: fire() used to iterate the live list, so a
+        # subscriber unsubscribing its successor shifted the roster
+        # under the loop -- the successor was skipped for the wrong
+        # reason and a third subscriber could be missed entirely.
+        signal = Signal("s")
+        seen = []
+
+        def second(payload):
+            seen.append("second")
+
+        def first(payload):
+            seen.append("first")
+            unsubscribe_second()
+
+        signal.subscribe(first)
+        unsubscribe_second = signal.subscribe(second)
+        signal.subscribe(lambda p: seen.append("third"))
+        signal.fire(None)
+        assert seen == ["first", "third"]
+
+    def test_self_unsubscribe_during_fire(self):
+        signal = Signal("s")
+        seen = []
+
+        def once(payload):
+            seen.append(payload)
+            unsubscribe()
+
+        unsubscribe = signal.subscribe(once)
+        signal.fire("a")
+        signal.fire("b")
+        assert seen == ["a"]
 
 
 class TestCancelledEventStress:
