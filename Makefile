@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench fleet-bench kernel-bench report
+.PHONY: lint test bench fleet-bench kernel-bench inference-bench report
 
 lint:
 	$(PYTHON) -m repro lint src/repro
@@ -17,6 +17,9 @@ fleet-bench:
 
 kernel-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py --benchmark-only -s
+
+inference-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_rl.py -k batched_inference --benchmark-only -s
 
 report:
 	$(PYTHON) -m repro report

@@ -80,6 +80,12 @@ HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ),
     ("repro/fleet/metrics.py", ("Welford", "HomeReport")),
     ("repro/fleet/shard.py", ("_HomeRun",)),
+    (
+        "repro/rl/batch.py",
+        ("GreedyPolicyTable", "MemoizedGreedyPolicy", "ShardPredictor"),
+    ),
+    ("repro/recognition/batch.py", ("BatchedHMM",)),
+    ("repro/planning/predictor.py", ("NextStepPredictor",)),
 )
 
 

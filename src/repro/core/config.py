@@ -26,6 +26,8 @@ __all__ = [
     "PlanningConfig",
     "RemindingConfig",
     "CoReDAConfig",
+    "default_infer_backend",
+    "default_q_backend",
 ]
 
 
@@ -124,7 +126,7 @@ class RadioConfig:
             raise ConfigurationError("max_retries must be >= 0")
 
 
-def _default_q_backend() -> str:
+def default_q_backend() -> str:
     """Process-wide default Q backend, overridable via environment.
 
     The backends train byte-identically (see docs/architecture.md),
@@ -133,6 +135,19 @@ def _default_q_backend() -> str:
     parameter through every plan builder.
     """
     return os.environ.get("REPRO_Q_BACKEND", "dense")
+
+
+def default_infer_backend() -> str:
+    """Process-wide default inference backend ("batched" | "scalar").
+
+    Selects how deployed predictors and the ADL recognizer serve
+    lookups: "batched" precomputes greedy-policy tables / stacks HMM
+    forward recursions, "scalar" is the per-call reference path.  The
+    backends are byte-identical (see docs/architecture.md); the env
+    hook (``REPRO_INFER_BACKEND``) lets benches A/B whole pipelines,
+    following the ``REPRO_Q_BACKEND`` pattern.
+    """
+    return os.environ.get("REPRO_INFER_BACKEND", "batched")
 
 
 @dataclass(frozen=True)
@@ -181,7 +196,13 @@ class PlanningConfig:
     #: "sparse" (the reference dict implementation).  Both produce
     #: bit-identical training runs and share cache entries; dense is
     #: several times faster on the training-bound experiment cells.
-    q_backend: str = field(default_factory=_default_q_backend)
+    q_backend: str = field(default_factory=default_q_backend)
+    #: Inference backend for deployed prediction and recognition:
+    #: "batched" (memoized greedy-policy tables, stacked HMM
+    #: forwards) or "scalar" (per-call reference lookups).  Both are
+    #: byte-identical and share cache entries; batched is several
+    #: times faster on prediction/recognition-dominated workloads.
+    infer_backend: str = field(default_factory=default_infer_backend)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.learning_rate <= 1.0:
@@ -204,6 +225,11 @@ class PlanningConfig:
         if self.q_backend not in ("dense", "sparse"):
             raise ConfigurationError(
                 f"q_backend must be 'dense' or 'sparse', got {self.q_backend!r}"
+            )
+        if self.infer_backend not in ("batched", "scalar"):
+            raise ConfigurationError(
+                "infer_backend must be 'batched' or 'scalar', got "
+                f"{self.infer_backend!r}"
             )
 
 

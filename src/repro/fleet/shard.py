@@ -46,6 +46,7 @@ from repro.fleet.home import (
 from repro.fleet.metrics import HomeReport
 from repro.fleet.spec import HomeSpec
 from repro.planning.store import PolicyCache
+from repro.rl.batch import ShardPredictor
 from repro.sim.kernel import Simulator
 
 __all__ = ["ShardSimulator", "simulate_shard"]
@@ -221,6 +222,13 @@ class ShardSimulator:
         read-only predictor instead.  Memoized reuse still counts as
         a cache hit -- the policy *was* served from that cache entry,
         and the counters must not depend on the shard layout.
+
+        Under the batched inference backend the shared predictor is a
+        :class:`~repro.rl.batch.ShardPredictor`: its full greedy-
+        policy table is precomputed here, once per distinct training
+        per shard, so every per-step prediction inside the shared
+        kernel is a single array index (byte-identical answers; see
+        docs/architecture.md).
         """
         key = home.training_key
         predictor = self._predictors.get(key)
@@ -228,6 +236,8 @@ class ShardSimulator:
             predictor = resolve_home_predictor(
                 definition, home, self.config, training_episodes, cache
             )
+            if self.config.planning.infer_backend == "batched":
+                predictor = ShardPredictor(predictor).precompute()
             self._predictors[key] = predictor
         elif cache is not None:
             cache.hits += 1

@@ -28,13 +28,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.adl import ADL, ReminderLevel, Routine
-from repro.core.config import PlanningConfig
+from repro.core.config import PlanningConfig, default_q_backend
 from repro.core.errors import CoReDAError
 from repro.planning.action import PromptAction, action_space
 from repro.planning.predictor import NextStepPredictor
 from repro.planning.state import PlanningState
 from repro.planning.trainer import LearningCurve, RoutineTrainer, TrainingResult
 from repro.rl.convergence import convergence_iteration
+from repro.rl.dense import DenseQTable, make_qtable
 from repro.rl.qtable import QTable
 from repro.sim.random import seeded_generator
 
@@ -75,10 +76,20 @@ def _entries_from_qtable(q: QTable) -> List[dict]:
 
 
 def _qtable_from_document(
-    document: dict, adl: ADL, source: str
-) -> QTable:
-    """Rebuild the Q-table of ``document``, validated against ``adl``."""
-    q = QTable(initial_value=float(document.get("initial_q", 0.0)))
+    document: dict, adl: ADL, source: str, q_backend: Optional[str] = None
+) -> Union[QTable, DenseQTable]:
+    """Rebuild the Q-table of ``document``, validated against ``adl``.
+
+    ``q_backend`` selects the restored table's backend (default: the
+    process-wide ``default_q_backend``).  The entries are written in
+    repr order regardless of how the source table interned its
+    states, so a document restores to the same values either way --
+    and restoring dense gives deployed predictors the array-indexed
+    greedy-policy path of :mod:`repro.rl.batch`.
+    """
+    if q_backend is None:
+        q_backend = default_q_backend()
+    q = make_qtable(q_backend, float(document.get("initial_q", 0.0)))
     for entry in document["entries"]:
         tool_id = int(entry["tool_id"])
         if not adl.has_step(tool_id):
@@ -108,7 +119,9 @@ def save_predictor(
     Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
 
 
-def load_predictor(path: Union[str, Path], adl: ADL) -> NextStepPredictor:
+def load_predictor(
+    path: Union[str, Path], adl: ADL, q_backend: Optional[str] = None
+) -> NextStepPredictor:
     """Restore a predictor previously written by :func:`save_predictor`.
 
     Raises :class:`CoReDAError` on version mismatch, on an ADL-name
@@ -127,7 +140,7 @@ def load_predictor(path: Union[str, Path], adl: ADL) -> NextStepPredictor:
             f"policy file {path} was trained for ADL {document.get('adl')!r}, "
             f"not {adl.name!r}"
         )
-    q = _qtable_from_document(document, adl, f"file {path}")
+    q = _qtable_from_document(document, adl, f"file {path}", q_backend=q_backend)
     return NextStepPredictor(
         q, action_space(adl), converged=bool(document.get("converged", False))
     )
@@ -160,6 +173,10 @@ def training_cache_key(
     """
     config_payload = asdict(config)
     config_payload.pop("q_backend", None)
+    # Inference backends are byte-identical too -- a predictor served
+    # from a policy table answers exactly what best_action would -- so
+    # the knob must not split the cache either.
+    config_payload.pop("infer_backend", None)
     payload = {
         "format": FORMAT_VERSION,
         "adl": adl_name,
@@ -202,10 +219,15 @@ def curve_from_document(document: dict) -> LearningCurve:
 
 
 def predictor_from_document(
-    document: dict, adl: ADL, converged: bool = True
+    document: dict,
+    adl: ADL,
+    converged: bool = True,
+    q_backend: Optional[str] = None,
 ) -> NextStepPredictor:
     """Rebuild a predictor from a cached training document."""
-    q = _qtable_from_document(document, adl, f"document for {adl.name!r}")
+    q = _qtable_from_document(
+        document, adl, f"document for {adl.name!r}", q_backend=q_backend
+    )
     return NextStepPredictor(q, action_space(adl), converged=converged)
 
 

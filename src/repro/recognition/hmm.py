@@ -75,32 +75,29 @@ class DiscreteHMM:
         alpha = self._forward(observations)
         if alpha is None:
             return 0.0
-        return float(_logsumexp(alpha[-1]))
+        return float(_logsumexp(alpha))
 
     def filter(self, observations: Sequence[int]) -> np.ndarray:
         """P(state_T | observations) -- the filtering distribution."""
         alpha = self._forward(observations)
         if alpha is None:
             return np.exp(self._log_prior - _logsumexp(self._log_prior))
-        last = alpha[-1]
-        return np.exp(last - _logsumexp(last))
+        return np.exp(alpha - _logsumexp(alpha))
 
     def viterbi(self, observations: Sequence[int]) -> Tuple[List[int], float]:
         """Most likely state path and its log probability."""
-        observations = list(observations)
-        if not observations:
+        observations = self._check_symbols(observations)
+        if observations is None:
             return [], 0.0
-        self._check_symbols(observations)
-        n = len(observations)
+        n = observations.shape[0]
+        emission = self._log_emission[:, observations]
         delta = np.empty((n, self.n_states))
         backpointer = np.zeros((n, self.n_states), dtype=int)
-        delta[0] = self._log_prior + self._log_emission[:, observations[0]]
+        delta[0] = self._log_prior + emission[:, 0]
         for t in range(1, n):
             scores = delta[t - 1][:, None] + self._log_transition
             backpointer[t] = scores.argmax(axis=0)
-            delta[t] = (
-                scores.max(axis=0) + self._log_emission[:, observations[t]]
-            )
+            delta[t] = scores.max(axis=0) + emission[:, t]
         path = [int(delta[-1].argmax())]
         for t in range(n - 1, 0, -1):
             path.append(int(backpointer[t][path[-1]]))
@@ -111,25 +108,45 @@ class DiscreteHMM:
     # internals
 
     def _forward(self, observations: Sequence[int]):
-        observations = list(observations)
-        if not observations:
+        """The final forward row ``alpha_T`` (``None`` for no data).
+
+        Rolling two-row recursion: filtering and likelihood only need
+        the last row, so the full ``(T, n_states)`` trellis is never
+        materialized (Viterbi keeps its own, for backtracking).  The
+        per-step emission columns are gathered once up front.
+        """
+        observations = self._check_symbols(observations)
+        if observations is None:
             return None
-        self._check_symbols(observations)
-        alpha = np.empty((len(observations), self.n_states))
-        alpha[0] = self._log_prior + self._log_emission[:, observations[0]]
-        for t in range(1, len(observations)):
-            alpha[t] = (
-                _logsumexp_matrix(alpha[t - 1][:, None] + self._log_transition)
-                + self._log_emission[:, observations[t]]
+        emission = self._log_emission[:, observations]
+        alpha = self._log_prior + emission[:, 0]
+        transition = self._log_transition
+        for t in range(1, observations.shape[0]):
+            alpha = (
+                _logsumexp_matrix(alpha[:, None] + transition)
+                + emission[:, t]
             )
         return alpha
 
-    def _check_symbols(self, observations: Sequence[int]) -> None:
-        for symbol in observations:
-            if not 0 <= symbol < self.n_symbols:
-                raise ValueError(
-                    f"observation {symbol} outside [0, {self.n_symbols})"
-                )
+    def _check_symbols(self, observations: Sequence[int]):
+        """Validate and return ``observations`` as an int array.
+
+        One vectorized bounds check instead of a per-symbol Python
+        loop; the error message names the first offending symbol, as
+        the scalar loop did.  Returns ``None`` for an empty sequence.
+        """
+        if not isinstance(observations, (list, tuple, np.ndarray)):
+            observations = list(observations)
+        arr = np.asarray(observations, dtype=np.intp)
+        if arr.shape[0] == 0:
+            return None
+        bad = (arr < 0) | (arr >= self.n_symbols)
+        if bad.any():
+            symbol = int(arr[int(np.argmax(bad))])
+            raise ValueError(
+                f"observation {symbol} outside [0, {self.n_symbols})"
+            )
+        return arr
 
 
 def _logsumexp(values: np.ndarray) -> float:

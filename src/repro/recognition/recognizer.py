@@ -11,15 +11,25 @@ With the shipped ADL library the tool-id spaces are disjoint, so the
 interesting cases are noisy ones: substituted detections (a foreign
 tool id in the stream) and gappy streams — both handled by the HMM's
 noise floors rather than brittle set-membership.
+
+Under the default ``"batched"`` inference backend the candidate
+models are additionally stacked into one :class:`~repro.recognition.
+batch.BatchedHMM`, so a posterior costs one forward recursion instead
+of one per candidate, and whole fleets of streams can be classified
+in a single call (:meth:`ActivityRecognizer.classify_batch`).  The
+``"scalar"`` backend keeps the per-model loop as the bit-identical
+reference.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.adl import ADL
+from repro.core.config import default_infer_backend
+from repro.recognition.batch import BatchedHMM
 from repro.recognition.hmm import DiscreteHMM
 
 __all__ = ["ActivityRecognizer"]
@@ -33,9 +43,17 @@ class ActivityRecognizer:
         adls: Sequence[ADL],
         miss_probability: float = 0.15,
         substitution_noise: float = 0.05,
+        backend: Optional[str] = None,
     ) -> None:
         if not adls:
             raise ValueError("need at least one candidate ADL")
+        if backend is None:
+            backend = default_infer_backend()
+        if backend not in ("batched", "scalar"):
+            raise ValueError(
+                f"backend must be 'batched' or 'scalar', got {backend!r}"
+            )
+        self.backend = backend
         self.adls = list(adls)
         # One shared symbol alphabet across all candidates, so
         # likelihoods are comparable.
@@ -49,6 +67,14 @@ class ActivityRecognizer:
             self._models[adl.name] = self._build_model(
                 adl, n_symbols, miss_probability, substitution_noise
             )
+        # Model stack in candidate order (== dict insertion order), so
+        # batched likelihood vectors zip back onto names losslessly.
+        self._names: List[str] = [adl.name for adl in self.adls]
+        self._batched: Optional[BatchedHMM] = (
+            BatchedHMM([self._models[name] for name in self._names])
+            if backend == "batched"
+            else None
+        )
 
     def _build_model(
         self,
@@ -84,36 +110,84 @@ class ActivityRecognizer:
         emission /= emission.sum(axis=1, keepdims=True)
         return DiscreteHMM(prior, transition, emission)
 
+    def _effective_symbols(self, observed: Sequence[int]) -> List[int]:
+        """The stream mapped onto the shared alphabet (unknowns dropped)."""
+        return [
+            self._tool_to_symbol[tool]
+            for tool in observed
+            if tool in self._tool_to_symbol
+        ]
+
+    def _posterior_from_likelihoods(
+        self, log_likelihoods: Sequence[float]
+    ) -> Dict[str, float]:
+        """Normalize per-candidate log-likelihoods (uniform prior)."""
+        peak = max(log_likelihoods)
+        weights = [float(np.exp(value - peak)) for value in log_likelihoods]
+        total = sum(weights)
+        return {
+            name: weight / total
+            for name, weight in zip(self._names, weights)
+        }
+
     def posterior(self, observed: Sequence[int]) -> Dict[str, float]:
         """P(ADL | usage stream), uniform prior over candidates.
 
         Tools outside every candidate's alphabet are ignored; an
         empty effective stream returns the uniform prior.
         """
-        symbols = [
-            self._tool_to_symbol[tool]
-            for tool in observed
-            if tool in self._tool_to_symbol
-        ]
+        symbols = self._effective_symbols(observed)
         if not symbols:
             uniform = 1.0 / len(self.adls)
             return {adl.name: uniform for adl in self.adls}
-        log_likelihoods = {
-            name: model.log_likelihood(symbols)
-            for name, model in self._models.items()
-        }
-        peak = max(log_likelihoods.values())
-        weights = {
-            name: float(np.exp(value - peak))
-            for name, value in log_likelihoods.items()
-        }
-        total = sum(weights.values())
-        return {name: weight / total for name, weight in weights.items()}
+        if self._batched is not None:
+            values = self._batched.log_likelihoods(symbols).tolist()
+        else:
+            values = [
+                self._models[name].log_likelihood(symbols)
+                for name in self._names
+            ]
+        return self._posterior_from_likelihoods(values)
 
     def classify(self, observed: Sequence[int]) -> str:
         """The maximum-posterior ADL name (ties break alphabetically)."""
         posterior = self.posterior(observed)
         return max(sorted(posterior), key=lambda name: posterior[name])
+
+    def posterior_batch(
+        self, streams: Sequence[Sequence[int]]
+    ) -> List[Dict[str, float]]:
+        """One posterior dict per stream, in stream order.
+
+        On the batched backend every stream of every candidate runs
+        through a single stacked forward recursion; on the scalar
+        backend this is just a loop over :meth:`posterior`.  The
+        outputs are bit-identical either way.
+        """
+        if self._batched is None:
+            return [self.posterior(stream) for stream in streams]
+        effective = [self._effective_symbols(stream) for stream in streams]
+        nonempty = [sym for sym in effective if sym]
+        matrix = self._batched.log_likelihood_matrix(nonempty)
+        uniform = 1.0 / len(self.adls)
+        posteriors = []
+        row = 0
+        for symbols in effective:
+            if not symbols:
+                posteriors.append({adl.name: uniform for adl in self.adls})
+                continue
+            posteriors.append(
+                self._posterior_from_likelihoods(matrix[row].tolist())
+            )
+            row += 1
+        return posteriors
+
+    def classify_batch(self, streams: Sequence[Sequence[int]]) -> List[str]:
+        """The maximum-posterior ADL name per stream, in stream order."""
+        return [
+            max(sorted(posterior), key=lambda name: posterior[name])
+            for posterior in self.posterior_batch(streams)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ActivityRecognizer(candidates={[a.name for a in self.adls]})"

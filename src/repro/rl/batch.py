@@ -1,0 +1,235 @@
+"""Batched greedy-policy inference over trained Q-tables.
+
+Training batches landed in :mod:`repro.rl.dense` (PR 5); this module
+batches the *deployment* side.  A deployed predictor answers the same
+question thousands of times per simulated day -- "greedy action in
+state ⟨previous, current⟩?" -- against a Q-table that no longer
+changes (or changes only at episode boundaries under online
+adaptation).  Recomputing the argmax per call therefore repays the
+same work over and over; the classes here precompute it once and
+revalidate cheaply:
+
+* :class:`GreedyPolicyTable` -- the full greedy policy of a
+  :class:`~repro.rl.dense.DenseQTable` as one ``(n_states,)`` vector
+  of action indices, built by a single row-indexed ``argmax`` over
+  the dense buffer's NumPy mirror.  A lookup is one dict probe (state
+  -> interned id) plus one array index.
+* :class:`MemoizedGreedyPolicy` -- the backend-generic fallback: a
+  lazily filled ``state -> action`` dict over any table exposing
+  ``best_action`` (the sparse :class:`~repro.rl.qtable.QTable`,
+  Double Q's mean view).
+* :class:`ShardPredictor` -- a frozen, shareable predictor facade for
+  the fleet's batched shard mode: one eagerly-built policy table per
+  distinct training per shard, so per-step prediction inside the
+  shared kernel is a single array index, not a ``best_action`` call.
+
+Every path revalidates against the table's monotone ``version``
+counter (bumped on every write), so a learner that keeps writing --
+online adaptation -- invalidates the cache instead of being served
+stale prompts.
+
+The contract, as everywhere in this codebase: **byte-identity** with
+the scalar reference.  ``np.argmax`` returns the first maximum, the
+policy tables argmax over the same repr-sorted action order as
+``best_action``, and a state the table has never interned maps to the
+first action in repr order -- exactly what ``best_action`` computes
+for an all-initial-value row.  ``tests/test_rl_batch.py`` pins this
+down per backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rl.dense import DenseQTable
+
+__all__ = [
+    "GreedyPolicyTable",
+    "MemoizedGreedyPolicy",
+    "ShardPredictor",
+    "greedy_policy_for",
+]
+
+State = Hashable
+Action = Hashable
+
+
+class GreedyPolicyTable:
+    """The full greedy policy of a dense table as one argmax vector.
+
+    ``lookup(state)`` returns exactly what ``q.best_action(state,
+    actions)`` would (same repr-order tie-breaking), without interning
+    unseen states and without per-call gathers.  The table is rebuilt
+    lazily whenever the underlying Q-table's ``version`` moves, so it
+    is safe under continued learning -- just fastest when the table is
+    frozen (the deployed-predictor case).
+    """
+
+    __slots__ = (
+        "q",
+        "actions",
+        "_view",
+        "_state_ids",
+        "_table",
+        "_version",
+        "_n_states",
+    )
+
+    def __init__(self, q: DenseQTable, actions: Sequence[Action]) -> None:
+        self.q = q
+        self.actions: Tuple[Action, ...] = tuple(actions)
+        view = q._view(self.actions)
+        if not view.sorted_ids_list:
+            raise ValueError("policy table needs a non-empty action space")
+        self._view = view
+        self._state_ids = q.index._state_ids
+        self._table: Optional[np.ndarray] = None
+        self._version = -1
+        self._n_states = 0
+
+    def _rebuild(self) -> None:
+        q = self.q
+        view = self._view
+        n_states = q.index.n_states
+        if n_states > q._rows or view.max_id >= q._cols:
+            q._grow()
+        if n_states:
+            block = q.as_array()[:n_states][:, view.sorted_ids]
+            self._table = block.argmax(axis=1)
+        else:
+            self._table = np.empty(0, dtype=np.intp)
+        self._n_states = n_states
+        self._version = q.version
+
+    def lookup(self, state: State) -> Action:
+        """The greedy action for ``state`` (= ``q.best_action``)."""
+        if self._version != self.q.version:
+            self._rebuild()
+        sid = self._state_ids.get(state)
+        if sid is None or sid >= self._n_states:
+            # Never interned (or interned after the last write): every
+            # Q-value is the initial value, so the first action in
+            # repr order wins -- best_action's exact pick.
+            return self._view.sorted_actions[0]
+        return self._view.sorted_actions[self._table[sid]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GreedyPolicyTable(states={self._n_states}, "
+            f"actions={len(self.actions)})"
+        )
+
+
+class MemoizedGreedyPolicy:
+    """Backend-generic greedy memo: ``state -> best_action(state)``.
+
+    Works over any table exposing ``best_action`` and a monotone
+    ``version`` write counter (sparse :class:`~repro.rl.qtable.
+    QTable`, Double Q's mean view); the memo is cleared whenever the
+    version moves.  ``PlanningState`` is a ``NamedTuple``, so plain
+    ``(previous, current)`` tuples hash and compare equal to it and
+    share one memo entry.
+    """
+
+    __slots__ = ("q", "actions", "_memo", "_version")
+
+    def __init__(self, q, actions: Sequence[Action]) -> None:
+        if not actions:
+            raise ValueError("policy memo needs a non-empty action space")
+        self.q = q
+        self.actions: Tuple[Action, ...] = tuple(actions)
+        self._memo: Dict[State, Action] = {}
+        self._version = q.version
+
+    def lookup(self, state: State) -> Action:
+        """The greedy action for ``state`` (= ``q.best_action``)."""
+        q = self.q
+        if self._version != q.version:
+            self._memo.clear()
+            self._version = q.version
+        action = self._memo.get(state)
+        if action is None:
+            action = q.best_action(state, self.actions)
+            self._memo[state] = action
+        return action
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoizedGreedyPolicy(memoized={len(self._memo)}, "
+            f"actions={len(self.actions)})"
+        )
+
+
+def greedy_policy_for(q, actions: Sequence[Action]):
+    """The fastest greedy-policy cache available for ``q``'s type.
+
+    ``None`` when ``q`` exposes no ``version`` counter -- a custom
+    table the caller must treat as uncacheable (fall back to per-call
+    ``best_action``).
+    """
+    if type(q) is DenseQTable:
+        return GreedyPolicyTable(q, actions)
+    if getattr(q, "version", None) is not None and hasattr(q, "best_action"):
+        return MemoizedGreedyPolicy(q, actions)
+    return None
+
+
+class ShardPredictor:
+    """A frozen, shareable next-step predictor for batched shards.
+
+    Wraps a trained predictor (anything exposing ``q``, ``actions``
+    and ``converged``) behind an eagerly-built greedy-policy cache:
+    the batched shard mode resolves one predictor per distinct
+    training key and serves every shard-mate from it, so the policy
+    table is computed once per shard and each per-step prediction
+    inside the shared kernel is a single array index.
+
+    Predictions are byte-identical to the wrapped predictor's -- the
+    cache machinery above guarantees it -- and the wrapped predictor
+    stays reachable via ``inner`` for persistence helpers.
+    """
+
+    __slots__ = ("inner", "q", "actions", "converged", "_policy")
+
+    def __init__(self, predictor) -> None:
+        self.inner = predictor
+        self.q = predictor.q
+        self.actions: Tuple[Action, ...] = tuple(predictor.actions)
+        self.converged = predictor.converged
+        policy = greedy_policy_for(self.q, self.actions)
+        if policy is None:
+            raise TypeError(
+                f"cannot build a shard policy table over {type(self.q).__name__}"
+            )
+        self._policy = policy
+
+    def precompute(self) -> "ShardPredictor":
+        """Force-build the policy cache now (off the simulated clock).
+
+        For the dense backend this materializes the full argmax
+        vector; for memo backends it is a no-op warm-up hook.
+        Returns ``self`` for chaining.
+        """
+        policy = self._policy
+        if isinstance(policy, GreedyPolicyTable):
+            if policy._version != policy.q.version:
+                policy._rebuild()
+        return self
+
+    def predict(self, state) -> Action:
+        """The prompt for ``state`` = ⟨previous StepID, current StepID⟩."""
+        return self._policy.lookup(state)
+
+    def predict_next_tool(
+        self, previous_step_id: int, current_step_id: int
+    ) -> int:
+        """Just the ToolID of the predicted next step."""
+        return self._policy.lookup((previous_step_id, current_step_id)).tool_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardPredictor(actions={len(self.actions)}, "
+            f"converged={self.converged})"
+        )

@@ -216,6 +216,7 @@ class DenseQTable:
     __slots__ = (
         "initial_value",
         "index",
+        "version",
         "_flat",
         "_written",
         "_rows",
@@ -240,6 +241,10 @@ class DenseQTable:
     ) -> None:
         self.initial_value = float(initial_value)
         self.index = index if index is not None else StateActionIndex()
+        #: Monotone write counter (see :attr:`QTable.version`); the
+        #: memoized greedy readouts of :mod:`repro.rl.batch`
+        #: revalidate against it.
+        self.version = 0
         self._flat: List[float] = []
         self._written = bytearray()
         self._rows = 0
@@ -363,6 +368,7 @@ class DenseQTable:
         self._flat[off] = float(value)
         self._written[off] = 1
         self._array = None
+        self.version += 1
 
     def add(self, state: State, action: Action, delta: float) -> None:
         """In-place ``Q(s, a) += delta``."""
@@ -379,6 +385,7 @@ class DenseQTable:
         flat[off] = flat[off] + delta
         self._written[off] = 1
         self._array = None
+        self.version += 1
 
     def best_action(self, state: State, actions: Sequence[Action]) -> Action:
         """Argmax over ``actions``; first maximum in repr order wins.
@@ -584,10 +591,23 @@ class _ArgmaxProber:
 
     Built by :meth:`DenseQTable.argmax_prober` for a fixed state and
     action sequence; tie-breaking matches :meth:`DenseQTable.
-    best_action` exactly (first maximum in repr order).
+    best_action` exactly (first maximum in repr order).  Probes large
+    enough to beat the interpreter (``_VECTOR_MIN_ELEMENTS``) are
+    served by one row-indexed argmax over the NumPy mirror instead of
+    per-state itemgetter chains; ``np.argmax`` also returns the first
+    maximum, so the ties break identically.
     """
 
-    __slots__ = ("_q", "_sids", "_view", "_gathers", "_grows")
+    __slots__ = (
+        "_q",
+        "_sids",
+        "_max_sid",
+        "_sid_arr",
+        "_vector",
+        "_view",
+        "_gathers",
+        "_grows",
+    )
 
     def __init__(
         self,
@@ -602,29 +622,45 @@ class _ArgmaxProber:
         self._q = q
         self._view = view
         self._sids = [index.state_id(s) for s in states]
+        self._max_sid = max(self._sids) if self._sids else -1
+        self._sid_arr = np.array(self._sids, dtype=np.intp)
+        self._vector = (
+            len(self._sids) * len(view.sorted_ids_list)
+            >= _VECTOR_MIN_ELEMENTS
+        )
         self._gathers: List[object] = []
         self._grows = -1
 
+    def _ensure_capacity(self) -> None:
+        q = self._q
+        if self._max_sid >= q._rows or self._view.max_id >= q._cols:
+            q._grow()
+
     def _rebuild(self) -> None:
         q = self._q
-        sids = self._sids
-        if sids and (
-            max(sids) >= q._rows or self._view.max_id >= q._cols
-        ):
-            q._grow()
+        self._ensure_capacity()
         cols = q._cols
         ids = self._view.sorted_ids_list
         self._gathers = [
-            _make_gather([sid * cols + a for a in ids]) for sid in sids
+            _make_gather([sid * cols + a for a in ids])
+            for sid in self._sids
         ]
         self._grows = q._grow_count
 
     def __call__(self) -> List[Action]:
         q = self._q
+        view = self._view
+        if self._vector:
+            self._ensure_capacity()
+            block = q.as_array()[self._sid_arr][:, view.sorted_ids]
+            sorted_actions = view.sorted_actions
+            return [
+                sorted_actions[i] for i in block.argmax(axis=1).tolist()
+            ]
         if self._grows != q._grow_count:
             self._rebuild()
         flat = q._flat
-        sorted_actions = self._view.sorted_actions
+        sorted_actions = view.sorted_actions
         out = []
         for g in self._gathers:
             values = g(flat)
@@ -767,6 +803,7 @@ class DenseTraces:
                 flat[off] = flat[off] + coef * e[i]
                 written[off] = 1
             q._array = None
+            q.version += 1
             return
         states = self.index.states
         actions = self.index.actions

@@ -134,6 +134,12 @@ class _MeanQView:
         self._q_a = q_a
         self._q_b = q_b
 
+    @property
+    def version(self) -> int:
+        """Combined write counter, so memoized greedy readouts over
+        this view (:mod:`repro.rl.batch`) see either table change."""
+        return self._q_a.version + self._q_b.version
+
     def value(self, state: State, action: Action) -> float:
         return 0.5 * (self._q_a.value(state, action) + self._q_b.value(state, action))
 

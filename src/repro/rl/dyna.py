@@ -216,6 +216,7 @@ class DynaQLearner:
                 off = r[7]
                 flat[off] = flat[off] + alpha * (target - flat[off])
             q._array = None
+            q.version += 1
         else:
             known = self._known_pairs
             for i in picks:
@@ -278,6 +279,7 @@ class DynaQLearner:
         flat[off] = flat[off] + alpha * delta
         q._written[off] = 1
         q._array = None
+        q.version += 1
         return delta
 
     def _refresh_record(self, record: list) -> None:

@@ -169,6 +169,7 @@ class ExpectedSarsaLearner:
             flat[off] = flat[off] + alpha * delta
             q._written[off] = 1
             q._array = None
+            q.version += 1
         else:
             if done or not next_actions:
                 target = reward

@@ -22,6 +22,10 @@ class QTable:
     def __init__(self, initial_value: float = 0.0) -> None:
         self.initial_value = float(initial_value)
         self._q: Dict[Tuple[State, Action], float] = {}
+        #: Monotone write counter.  Memoized greedy readouts
+        #: (:mod:`repro.rl.batch`) revalidate against it, so online
+        #: adaptation writing through this table invalidates them.
+        self.version = 0
 
     def value(self, state: State, action: Action) -> float:
         """Q(s, a), defaulting to the initial value for unseen pairs."""
@@ -30,11 +34,13 @@ class QTable:
     def set(self, state: State, action: Action, value: float) -> None:
         """Assign Q(s, a)."""
         self._q[(state, action)] = float(value)
+        self.version += 1
 
     def add(self, state: State, action: Action, delta: float) -> None:
         """In-place ``Q(s, a) += delta``."""
         key = (state, action)
         self._q[key] = self._q.get(key, self.initial_value) + delta
+        self.version += 1
 
     def best_action(self, state: State, actions: Iterable[Action]) -> Action:
         """Argmax over ``actions``, deterministic under ties.

@@ -183,6 +183,7 @@ class SarsaLambdaLearner:
                 if min(new_e) < traces.cutoff:
                     traces._compact()
             q._array = None
+            q.version += 1
         else:
             if done:
                 target = reward

@@ -227,6 +227,7 @@ class TDLambdaQLearner:
                     if min(new_e) < traces.cutoff:
                         traces._compact()
             q._array = None
+            q.version += 1
         else:
             if done:
                 target = reward

@@ -298,6 +298,22 @@ class TestShardModes:
             serial_result.to_json()
         )
 
+    def test_infer_backends_identical_in_both_shard_modes(
+        self, serial_result
+    ):
+        from repro.core.config import CoReDAConfig, PlanningConfig
+
+        scalar_config = CoReDAConfig(
+            seed=SPEC.seed,
+            planning=PlanningConfig(infer_backend="scalar"),
+        )
+        scalar_batched = run_fleet(SPEC, jobs=1, config=scalar_config)
+        assert scalar_batched.to_json() == serial_result.to_json()
+        scalar_per_home = run_fleet(
+            SPEC, jobs=2, config=scalar_config, batch_homes=False
+        )
+        assert scalar_per_home.to_json() == serial_result.to_json()
+
     def test_kernel_backends_identical_in_batched_mode(self, serial_result):
         from repro.core.config import CoReDAConfig, SimConfig
 

@@ -57,3 +57,46 @@ class TestPrediction:
     def test_empty_action_space_rejected(self, training):
         with pytest.raises(ValueError):
             NextStepPredictor(training.learner.q, [])
+
+
+class TestMemoizedPrediction:
+    def all_states(self, tea_adl):
+        ids = [0] + list(tea_adl.step_ids)
+        return [(prev, cur) for prev in ids for cur in ids]
+
+    def test_memoized_matches_unmemoized(self, tea_adl, training):
+        memoized = NextStepPredictor(
+            training.learner.q, training.actions, memoize=True
+        )
+        plain = NextStepPredictor(
+            training.learner.q, training.actions, memoize=False
+        )
+        for state in self.all_states(tea_adl):
+            assert memoized.predict(state) == plain.predict(state)
+
+    def test_env_override_disables_memoization(self, training, monkeypatch):
+        monkeypatch.setenv("REPRO_INFER_BACKEND", "scalar")
+        predictor = NextStepPredictor(training.learner.q, training.actions)
+        assert not predictor._memoize
+        monkeypatch.setenv("REPRO_INFER_BACKEND", "batched")
+        predictor = NextStepPredictor(training.learner.q, training.actions)
+        assert predictor._memoize
+
+    def test_learner_writes_invalidate_memo(self, tea_adl, training):
+        """Online adaptation writes through the deployed predictor's
+        table; memoized predictions must track them, not go stale."""
+        predictor = NextStepPredictor(
+            training.learner.q, training.actions, memoize=True
+        )
+        plain = NextStepPredictor(
+            training.learner.q, training.actions, memoize=False
+        )
+        states = self.all_states(tea_adl)
+        for state in states:
+            predictor.predict(state)
+        q = training.learner.q
+        for state in states:
+            for action in training.actions:
+                q.set(PlanningState(*state), action, -float(action.tool_id))
+        for state in states:
+            assert predictor.predict(state) == plain.predict(state)
