@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench fleet-bench kernel-bench inference-bench report
+.PHONY: lint lint-sarif lint-bench test bench fleet-bench kernel-bench inference-bench report
 
 lint:
-	$(PYTHON) -m repro lint src/repro
+	$(PYTHON) -m repro lint src/repro --baseline lint-baseline.json
+
+lint-sarif:
+	$(PYTHON) -m repro lint src/repro --baseline lint-baseline.json --format sarif > lint.sarif
+
+lint-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_lint.py --benchmark-only -s
 
 test:
 	$(PYTHON) -m pytest tests/

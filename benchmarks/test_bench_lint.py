@@ -1,0 +1,67 @@
+"""Bench: the whole-program analyzer over the full source tree.
+
+The linter runs in the tier-1 gate on every test invocation, so its
+own cost is a tax on every CI cycle.  This bench times the complete
+two-pass run (parse + per-module rules + ProjectIndex + call graph +
+cross-module rules) over all of ``src/repro`` and asserts the 5 s
+budget, plus an index-only measurement so a regression can be
+attributed to pass 1 or pass 2.  Results land in ``BENCH_lint.json``
+at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.core import ModuleContext, iter_python_files
+from repro.analysis.index import ProjectIndex
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src" / "repro"
+_OUT = _ROOT / "BENCH_lint.json"
+
+#: Wall-clock ceiling for one full-tree lint (all rules, both passes).
+FULL_TREE_BUDGET_S = 5.0
+
+
+def test_bench_full_tree_lint():
+    # Warm-up run loads the rule modules so the measured pass times
+    # analysis, not imports.
+    lint_paths([str(_SRC)])
+
+    start = time.perf_counter()
+    report = lint_paths([str(_SRC)])
+    full_s = time.perf_counter() - start
+    assert not report.active, "bench requires a clean tree"
+    assert report.files_checked > 50
+
+    files = iter_python_files([str(_SRC)])
+    sources = [(str(f), f.read_text("utf-8")) for f in files]
+
+    start = time.perf_counter()
+    modules = [ModuleContext(path, source) for path, source in sources]
+    parse_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    project = ProjectIndex(modules)
+    graph = project.callgraph()
+    index_s = time.perf_counter() - start
+
+    document = {
+        "files": report.files_checked,
+        "functions_indexed": len(project.functions),
+        "callgraph_sites": sum(len(v) for v in graph.sites.values()),
+        "full_tree_s": round(full_s, 4),
+        "parse_s": round(parse_s, 4),
+        "index_and_callgraph_s": round(index_s, 4),
+        "budget_s": FULL_TREE_BUDGET_S,
+    }
+    _OUT.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"\nBENCH lint: {json.dumps(document, indent=2)}")
+
+    assert full_s < FULL_TREE_BUDGET_S, (
+        f"full-tree lint took {full_s:.2f}s, budget {FULL_TREE_BUDGET_S}s"
+    )

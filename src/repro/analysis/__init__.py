@@ -20,11 +20,13 @@ Policy (which files, which classes, which names) lives in
 itself in :mod:`repro.analysis.core`.
 """
 
+from repro.analysis.baseline import Baseline
 from repro.analysis.core import (
     Finding,
     LintReport,
     LintUsageError,
     ModuleContext,
+    ProjectRule,
     Rule,
     UnknownRuleError,
     all_rule_ids,
@@ -33,14 +35,17 @@ from repro.analysis.core import (
     lint_source,
     register,
     resolve_rules,
+    rule_families,
 )
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 
 __all__ = [
+    "Baseline",
     "Finding",
     "LintReport",
     "LintUsageError",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "UnknownRuleError",
     "all_rule_ids",
@@ -49,6 +54,8 @@ __all__ = [
     "lint_source",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_rules",
+    "rule_families",
 ]

@@ -1,0 +1,139 @@
+"""Committed lint baselines: land a new rule strict-on-new-findings.
+
+A baseline is a committed JSON file of known findings.  With
+``repro lint --baseline lint-baseline.json`` the gate fails only on
+findings *not* in the file, so a freshly landed rule can ratchet: the
+debt it found at introduction is recorded, every new violation is an
+error, and paying debt down never requires touching the baseline
+(stale entries are reported so the file shrinks monotonically).
+
+Fingerprints are ``path::rule::message`` with a count -- deliberately
+*line-free*, so unrelated edits that shift a known finding up or down
+a file do not resurrect it, while a second identical violation in the
+same file (count exceeded) still fails.  Paths are stored POSIX-style
+relative to the invocation, matching :class:`Finding.path`.
+
+File format::
+
+    {"version": 1, "entries": {"src/m.py::DET002::message text": 1}}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.analysis.core import Finding, LintReport, LintUsageError
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def _fingerprint(finding: Finding) -> str:
+    path = finding.path.replace("\\", "/")
+    return f"{path}::{finding.rule}::{finding.message}"
+
+
+class Baseline:
+    """Known-findings ledger keyed by line-free fingerprints."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Dict[str, int]) -> None:
+        self.entries = dict(entries)
+
+    # ------------------------------------------------------------------
+    # construction / persistence
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline every unsuppressed finding (the ratchet start)."""
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            key = _fingerprint(finding)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        file = Path(path)
+        if not file.is_file():
+            raise LintUsageError(f"baseline file not found: {path}")
+        try:
+            document = json.loads(file.read_text("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise LintUsageError(
+                f"baseline file {path} is not valid JSON: {exc}"
+            ) from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != BASELINE_VERSION
+            or not isinstance(document.get("entries"), dict)
+        ):
+            raise LintUsageError(
+                f"baseline file {path} is not a version-"
+                f"{BASELINE_VERSION} baseline document"
+            )
+        entries: Dict[str, int] = {}
+        for key, count in document["entries"].items():
+            if not isinstance(key, str) or not isinstance(count, int):
+                raise LintUsageError(
+                    f"baseline file {path} has a malformed entry: "
+                    f"{key!r}: {count!r}"
+                )
+            entries[key] = count
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    # application
+
+    def apply(self, report: LintReport) -> LintReport:
+        """Mark matching findings ``baselined`` (up to each entry's
+        count, in report order).  Suppressed findings never consume a
+        baseline slot -- the suppression already justifies them."""
+        remaining = dict(self.entries)
+        findings: List[Finding] = []
+        for finding in report.findings:
+            if not finding.suppressed:
+                key = _fingerprint(finding)
+                if remaining.get(key, 0) > 0:
+                    remaining[key] -= 1
+                    finding = replace(finding, baselined=True)
+            findings.append(finding)
+        return LintReport(
+            findings=tuple(findings),
+            files_checked=report.files_checked,
+        )
+
+    def stale_entries(self, report: LintReport) -> List[str]:
+        """Fingerprints with more baseline slots than live findings --
+        debt that was paid down; the committed file should drop them."""
+        remaining = dict(self.entries)
+        for finding in report.findings:
+            if finding.suppressed:
+                continue
+            key = _fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+        return sorted(key for key, count in remaining.items() if count > 0)
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

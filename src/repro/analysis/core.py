@@ -1,18 +1,29 @@
 """Visitor core of the determinism / sim-safety static analyzer.
 
-The framework is deliberately small: a :class:`Rule` walks one parsed
-module (:class:`ModuleContext`) and yields :class:`Finding` s; a
-registry maps rule IDs to singleton rule instances; and the driver
+The framework has two passes:
+
+1. **Per-module rules** (:class:`Rule`) walk one parsed module
+   (:class:`ModuleContext`) and yield :class:`Finding` s.
+2. **Whole-program rules** (:class:`ProjectRule`) run once per lint
+   invocation against a :class:`repro.analysis.index.ProjectIndex`
+   built over *every* module of the run, so they can follow dataflow
+   across module boundaries (helper calls that mutate a Q buffer,
+   worker entry points reaching global writes, ...).
+
+A registry maps rule IDs to singleton rule instances; the driver
 functions (:func:`lint_source`, :func:`lint_paths`) apply inline
 suppressions and fold everything into a :class:`LintReport`.
 
 Suppressions
 ------------
-A finding is suppressed by a comment on the *reported line*::
+A finding is suppressed by a comment on the reported line::
 
     start = time.perf_counter()  # repro: allow[DET002] timing display
 
-Multiple rule IDs may be listed, comma-separated:
+The comment may sit on *any line of the statement* that produced the
+finding -- the closing-paren line of a multi-line call works -- and,
+for findings anchored on a ``def``/``class`` header, on any of its
+decorator lines.  Multiple rule IDs may be listed, comma-separated:
 ``# repro: allow[DET001,DET004] fixture``.  Anything after the
 closing bracket is free-form justification.  Suppressed findings are
 still collected (and shown in the JSON report) but do not fail the
@@ -44,20 +55,49 @@ __all__ = [
     "LintReport",
     "LintUsageError",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "StatementOrder",
     "UnknownRuleError",
     "all_rule_ids",
     "dotted_name",
     "iter_python_files",
+    "lint_modules",
     "lint_paths",
     "lint_source",
     "register",
     "resolve_rules",
+    "rule_families",
 ]
 
 SUPPRESSION_PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 
+
+def _collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule IDs suppressed by a comment on it."""
+    table: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESSION_PATTERN.search(token.string)
+            if not match:
+                continue
+            ids = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            if ids:
+                table.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:  # pragma: no cover - parse guards first
+        pass
+    return table
+
 SEVERITIES = ("error", "warning")
+
+_FAMILY_PATTERN = re.compile(r"^[A-Z]+")
 
 
 class LintUsageError(Exception):
@@ -65,7 +105,7 @@ class LintUsageError(Exception):
 
 
 class UnknownRuleError(LintUsageError):
-    """A rule ID was requested that no registered rule carries."""
+    """A rule ID or family was requested that nothing registered."""
 
 
 @dataclass(frozen=True)
@@ -79,6 +119,9 @@ class Finding:
     severity: str
     message: str
     suppressed: bool = False
+    #: True when a committed baseline claims this finding as known
+    #: debt; baselined findings do not fail the gate.
+    baselined: bool = False
 
     @property
     def location(self) -> str:
@@ -107,6 +150,7 @@ class ModuleContext:
             raise LintUsageError(f"{path}: cannot parse: {exc}") from exc
         self.suppressions = _collect_suppressions(source)
         self._imports: Optional[FrozenSet[str]] = None
+        self._span_suppressions: Optional[Dict[int, Set[str]]] = None
 
     @property
     def imports(self) -> FrozenSet[str]:
@@ -129,8 +173,62 @@ class ModuleContext:
         )
 
     def suppressed_rules(self, line: int) -> FrozenSet[str]:
-        """Rule IDs suppressed on ``line`` (empty set when none)."""
-        return frozenset(self.suppressions.get(line, ()))
+        """Rule IDs suppressed for a finding reported on ``line``.
+
+        A suppression comment reaches a finding when it sits on the
+        finding's own line, on any line of the (multi-line) statement
+        spanning it, or -- for ``def``/``class`` findings -- on one of
+        the decorator/header lines.
+        """
+        direct = self.suppressions.get(line, set())
+        spanned = self._statement_spans().get(line, set())
+        if not direct and not spanned:
+            return frozenset()
+        return frozenset(direct | spanned)
+
+    def _statement_spans(self) -> Dict[int, Set[str]]:
+        """Suppressions propagated across multi-line statement spans.
+
+        For every statement whose span (decorators + header for
+        compound statements, the whole extent for simple ones) holds
+        a suppression comment, every line of that span inherits the
+        suppressed rule IDs.  Comment lines *between* statements stay
+        inert, which keeps "comment on the previous line" a non-
+        suppression, as before.
+        """
+        if self._span_suppressions is not None:
+            return self._span_suppressions
+        table: Dict[int, Set[str]] = {}
+        raw = self.suppressions
+        if raw:
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                lines = _statement_span(node)
+                ids: Set[str] = set()
+                for line in lines:
+                    ids.update(raw.get(line, ()))
+                if ids:
+                    for line in lines:
+                        table.setdefault(line, set()).update(ids)
+        self._span_suppressions = table
+        return table
+
+
+def _statement_span(node: ast.stmt) -> range:
+    """The line range a suppression on this statement covers."""
+    start = node.lineno
+    end = getattr(node, "end_lineno", None) or node.lineno
+    decorators = getattr(node, "decorator_list", None)
+    if decorators:
+        start = min(start, min(d.lineno for d in decorators))
+    body = getattr(node, "body", None)
+    if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+        # Compound statement: the span is the header (decorators +
+        # signature), not the whole body -- a comment deep inside a
+        # function must not silence findings on its ``def`` line.
+        end = body[0].lineno - 1
+    return range(start, max(start, end) + 1)
 
 
 class Rule:
@@ -156,6 +254,35 @@ class Rule:
             message=message,
         )
 
+    def finding_at(
+        self, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Like :meth:`finding` for rules that span modules."""
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: runs once against the project index.
+
+    ``check`` is a no-op (pass 1 skips project rules); subclasses
+    implement :meth:`check_project` against the
+    :class:`repro.analysis.index.ProjectIndex` built over every module
+    of the lint invocation.
+    """
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class LintReport:
@@ -166,12 +293,20 @@ class LintReport:
 
     @property
     def active(self) -> Tuple[Finding, ...]:
-        """Findings that fail the gate (not suppressed)."""
-        return tuple(f for f in self.findings if not f.suppressed)
+        """Findings that fail the gate (not suppressed/baselined)."""
+        return tuple(
+            f for f in self.findings if not f.suppressed and not f.baselined
+        )
 
     @property
     def suppressed(self) -> Tuple[Finding, ...]:
         return tuple(f for f in self.findings if f.suppressed)
+
+    @property
+    def baselined(self) -> Tuple[Finding, ...]:
+        return tuple(
+            f for f in self.findings if f.baselined and not f.suppressed
+        )
 
 
 # --------------------------------------------------------------------
@@ -207,22 +342,89 @@ def all_rule_ids() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def rule_families() -> List[str]:
+    """The registered rule families (leading-letter prefixes), sorted:
+    ``["DET", "PAR", "PERF", "SIM", "VER"]`` for the shipped pack."""
+    _load_rules()
+    families = set()
+    for rule_id in _REGISTRY:
+        match = _FAMILY_PATTERN.match(rule_id)
+        if match:
+            families.add(match.group(0))
+    return sorted(families)
+
+
 def resolve_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
-    """The rule instances for ``rule_ids`` (all rules when ``None``)."""
+    """The rule instances for ``rule_ids`` (all rules when ``None``).
+
+    Each requested token may be an exact rule ID (``DET001``) or a
+    family prefix (``DET`` selects every ``DET*`` rule).  Unknown
+    tokens raise :class:`UnknownRuleError` naming the valid families.
+    """
     _load_rules()
     if rule_ids is None:
         return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
-    unknown = sorted(set(rule_ids) - set(_REGISTRY))
+    selected: Set[str] = set()
+    unknown: List[str] = []
+    for token in rule_ids:
+        if token in _REGISTRY:
+            selected.add(token)
+            continue
+        matches = [
+            rule_id for rule_id in _REGISTRY if rule_id.startswith(token)
+        ] if token else []
+        if matches:
+            selected.update(matches)
+        else:
+            unknown.append(token)
     if unknown:
         raise UnknownRuleError(
-            f"unknown rule(s): {', '.join(unknown)} "
-            f"(known: {', '.join(sorted(_REGISTRY))})"
+            f"unknown rule(s) or famil(ies): {', '.join(sorted(set(unknown)))} "
+            f"(families: {', '.join(rule_families())}; "
+            f"rules: {', '.join(sorted(_REGISTRY))})"
         )
-    return [_REGISTRY[rule_id] for rule_id in sorted(set(rule_ids))]
+    return [_REGISTRY[rule_id] for rule_id in sorted(selected)]
 
 
 # --------------------------------------------------------------------
 # Drivers
+
+
+def lint_modules(
+    modules: Sequence[ModuleContext],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """The two-pass driver: per-module rules, then project rules.
+
+    Pass 1 applies every plain :class:`Rule` to each module; pass 2
+    builds one :class:`~repro.analysis.index.ProjectIndex` over the
+    whole module set and applies every :class:`ProjectRule` to it.
+    Suppressions are resolved per finding against the module that
+    reported it.  Returns sorted findings.
+    """
+    rules = resolve_rules(rule_ids)
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    findings: List[Finding] = []
+    for module in modules:
+        for rule in module_rules:
+            findings.extend(rule.check(module))
+    if project_rules:
+        from repro.analysis.index import ProjectIndex
+
+        project = ProjectIndex(modules)
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
+    by_path = {module.path: module for module in modules}
+    out: List[Finding] = []
+    for found in findings:
+        module = by_path.get(found.path)
+        if module is not None and found.rule in module.suppressed_rules(
+            found.line
+        ):
+            found = replace(found, suppressed=True)
+        out.append(found)
+    return sorted(out, key=Finding.sort_key)
 
 
 def lint_source(
@@ -230,20 +432,25 @@ def lint_source(
     path: str = "<string>",
     rule_ids: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint one module given as a string; returns sorted findings."""
-    module = ModuleContext(path, source)
-    findings: List[Finding] = []
-    for rule in resolve_rules(rule_ids):
-        for found in rule.check(module):
-            if found.rule in module.suppressed_rules(found.line):
-                found = replace(found, suppressed=True)
-            findings.append(found)
-    return sorted(findings, key=Finding.sort_key)
+    """Lint one module given as a string; returns sorted findings.
+
+    Project rules run against a single-module index, so cross-module
+    rule fixtures can be exercised from one source string.
+    """
+    return lint_modules([ModuleContext(path, source)], rule_ids)
 
 
 def iter_python_files(paths: Sequence[str]) -> List[Path]:
-    """Expand files and directories into a sorted, deduplicated list."""
-    out: List[Path] = []
+    """Expand files and directories into a deduplicated, sorted list.
+
+    Overlapping arguments (``repro lint src src/repro``, a file plus
+    the directory containing it, relative/absolute spellings of one
+    tree) contribute each file **once** -- deduplication is by
+    resolved path -- and the result is sorted by resolved path, so
+    the file order (and therefore the report) is identical no matter
+    how the argument list spells or orders the inputs.
+    """
+    out: List[Tuple[str, Path]] = []
     seen: Set[Path] = set()
     for raw in paths:
         path = Path(raw)
@@ -257,23 +464,27 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
             resolved = candidate.resolve()
             if resolved not in seen:
                 seen.add(resolved)
-                out.append(candidate)
-    return out
+                out.append((resolved.as_posix(), candidate))
+    out.sort(key=lambda pair: pair[0])
+    return [candidate for _, candidate in out]
 
 
 def lint_paths(
     paths: Sequence[str],
     rule_ids: Optional[Sequence[str]] = None,
 ) -> LintReport:
-    """Lint files/directories; returns the aggregate report."""
+    """Lint files/directories; returns the aggregate report.
+
+    All modules are parsed up front so the whole-program pass sees
+    every file of the invocation at once.
+    """
     files = iter_python_files(paths)
-    findings: List[Finding] = []
-    for file in files:
-        findings.extend(
-            lint_source(file.read_text("utf-8"), str(file), rule_ids)
-        )
+    modules = [
+        ModuleContext(str(file), file.read_text("utf-8")) for file in files
+    ]
+    findings = lint_modules(modules, rule_ids)
     return LintReport(
-        findings=tuple(sorted(findings, key=Finding.sort_key)),
+        findings=tuple(findings),
         files_checked=len(files),
     )
 
@@ -294,28 +505,169 @@ def dotted_name(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _parse_ids(raw: str) -> List[str]:
-    return [part.strip() for part in raw.split(",") if part.strip()]
+#: Statements that unconditionally leave the enclosing block.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
 
 
-def _collect_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> rule IDs allowed on that line."""
-    table: Dict[int, Set[str]] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
-            if token.type != tokenize.COMMENT:
-                continue
-            match = SUPPRESSION_PATTERN.search(token.string)
-            if match:
-                table.setdefault(token.start[0], set()).update(
-                    _parse_ids(match.group(1))
-                )
-    except tokenize.TokenError:  # pragma: no cover - defensive
-        for number, text in enumerate(source.splitlines(), 1):
-            match = SUPPRESSION_PATTERN.search(text)
-            if match:
-                table.setdefault(number, set()).update(
-                    _parse_ids(match.group(1))
-                )
-    return table
+class StatementOrder:
+    """Structural execution order inside one function body.
+
+    Used by the path-sensitive rules (VER001's "bumps the version on
+    every path", SIM003's "never referenced after recycle").  Each
+    statement gets a *path*: the chain of ``(block, index)`` steps
+    from the function body down to it.  Two relations fall out:
+
+    * :meth:`covers_after` -- ``b`` executes after ``a`` on **every**
+      structural fall-through path (``b`` sits later in one of ``a``'s
+      enclosing blocks, not nested inside a later conditional).
+    * :meth:`may_follow` -- ``b`` **may** execute after ``a`` (``b``
+      or an ancestor of ``b`` sits later in one of ``a``'s enclosing
+      blocks), honouring ``return``/``raise``/``continue``/``break``
+      barriers between ``a`` and the fall-through point.
+
+    The model ignores exceptions and treats loop bodies as straight-
+    line (a statement later in a loop body is "after" an earlier one);
+    that is exactly the right fidelity for review-time contract
+    checking, and both rules have fixture tests pinning it.
+    """
+
+    __slots__ = ("_paths", "_blocks", "_owner")
+
+    def __init__(self, function: ast.AST) -> None:
+        #: id(stmt) -> tuple of (block serial, index) steps.
+        self._paths: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        #: block serial -> the statement list it stands for.
+        self._blocks: Dict[int, List[ast.stmt]] = {}
+        #: id(any node) -> its innermost enclosing statement.
+        self._owner: Dict[int, ast.stmt] = {}
+        serial = 0
+        stack: List[Tuple[List[ast.stmt], Tuple[Tuple[int, int], ...]]] = []
+        body = getattr(function, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            stack.append((body, ()))
+        while stack:
+            block, prefix = stack.pop()
+            serial += 1
+            self._blocks[serial] = block
+            for index, stmt in enumerate(block):
+                path = prefix + ((serial, index),)
+                self._paths[id(stmt)] = path
+                self._claim(stmt)
+                for child in _child_blocks(stmt):
+                    stack.append((child, path))
+
+    def _claim(self, stmt: ast.stmt) -> None:
+        """Map ``stmt``'s non-statement descendants to it."""
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    continue  # claimed by its own enclosing statement
+                self._owner[id(child)] = stmt
+                stack.append(child)
+
+    def enclosing(self, node: ast.AST) -> Optional[ast.stmt]:
+        """The innermost statement containing ``node`` (or ``node``)."""
+        if isinstance(node, ast.stmt):
+            return node if id(node) in self._paths else None
+        owner = self._owner.get(id(node))
+        while owner is not None and id(owner) not in self._paths:
+            owner = self._owner.get(id(owner))
+        return owner
+
+    def statements(self) -> Iterator[ast.stmt]:
+        """Every tracked statement (arbitrary order)."""
+        for block in self._blocks.values():
+            for stmt in block:
+                yield stmt
+
+    def covers_after(self, a: ast.stmt, b: ast.stmt) -> bool:
+        """True when ``b`` runs after ``a`` on every fall-through path."""
+        pa = self._paths.get(id(a))
+        pb = self._paths.get(id(b))
+        if pa is None or pb is None:
+            return False
+        depth = len(pb) - 1
+        if depth >= len(pa):
+            return False
+        if pb[:depth] != pa[:depth]:
+            return False
+        block_b, index_b = pb[depth]
+        block_a, index_a = pa[depth]
+        return block_b == block_a and index_b > index_a
+
+    def may_follow(self, a: ast.stmt, b: ast.stmt) -> bool:
+        """True when ``b`` may execute after ``a`` (fall-through
+        reachability, stopping at terminator statements)."""
+        pa = self._paths.get(id(a))
+        pb = self._paths.get(id(b))
+        if pa is None or pb is None:
+            return False
+        # Walk outward from a's innermost block; at each level, the
+        # statements after a's ancestor are reachable unless a
+        # terminator cuts the block off first.
+        for depth in range(len(pa) - 1, -1, -1):
+            block_serial, index = pa[depth]
+            block = self._blocks[block_serial]
+            for later_index in range(index + 1, len(block)):
+                later = block[later_index]
+                if self._contains(later, pb, depth, block_serial, later_index):
+                    return True
+                if isinstance(later, _TERMINATORS):
+                    return False
+            # The block fell through; if any statement *at or before*
+            # a's ancestor ends in a terminator we would have exited
+            # already.  Keep walking outward.
+        return False
+
+    def _contains(
+        self,
+        stmt: ast.stmt,
+        pb: Tuple[Tuple[int, int], ...],
+        depth: int,
+        block_serial: int,
+        index: int,
+    ) -> bool:
+        """True when path ``pb`` runs through ``stmt``."""
+        return len(pb) > depth and pb[depth] == (block_serial, index)
+
+    def fallthrough(self, a: ast.stmt) -> Iterator[ast.stmt]:
+        """Statements that may execute after ``a``, in fall-through
+        order (innermost block outward).  A terminator statement ends
+        the scan: nothing past a ``return``/``raise``/``continue``/
+        ``break`` on this path is reachable by falling through.
+        Statements are yielded whole -- a later ``if`` arrives as one
+        statement; callers inspect its subtree themselves."""
+        pa = self._paths.get(id(a))
+        if pa is None:
+            return
+        for depth in range(len(pa) - 1, -1, -1):
+            block_serial, index = pa[depth]
+            block = self._blocks[block_serial]
+            for later in block[index + 1:]:
+                yield later
+                if isinstance(later, _TERMINATORS):
+                    return
+
+
+def _child_blocks(node: ast.AST) -> List[List[ast.stmt]]:
+    """The statement lists directly under ``node``.  Nested defs,
+    lambdas and classes own their statements: they contribute no
+    blocks to the enclosing function's order."""
+    if isinstance(
+        node,
+        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+    ):
+        return []
+    blocks: List[List[ast.stmt]] = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(node, name, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            blocks.append(block)
+    for handler in getattr(node, "handlers", ()):
+        if handler.body:
+            blocks.append(list(handler.body))
+    return blocks

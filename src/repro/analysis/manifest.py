@@ -17,12 +17,19 @@ from __future__ import annotations
 from typing import Tuple
 
 __all__ = [
+    "CELL_CONSTRUCTOR",
+    "CELL_MODULES",
+    "FREE_LIST_RELEASE_FUNCTIONS",
+    "FREE_LIST_RELEASE_METHODS",
     "HOT_PATH_CLASSES",
     "ORDERED_WRAPPERS",
     "PROCESS_DIRECTIVES",
     "RNG_MODULE_SUFFIXES",
     "SCHEDULING_IMPORT_PREFIXES",
+    "SUBMIT_METHODS",
     "TIMESTAMP_NAMES",
+    "VERSIONED_BUFFER_ATTRS",
+    "VERSION_COUNTER",
     "WALL_CLOCK_EXEMPT_PARTS",
     "is_rng_module",
     "is_wall_clock_exempt",
@@ -86,7 +93,50 @@ HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ),
     ("repro/recognition/batch.py", ("BatchedHMM",)),
     ("repro/planning/predictor.py", ("NextStepPredictor",)),
+    # The analyzer itself: the whole-program index allocates one
+    # FunctionInfo/ClassInfo per definition in the tree on every lint
+    # run, and the tier-1 gate plus BENCH_lint both lint all of
+    # src/repro.
+    (
+        "repro/analysis/index.py",
+        (
+            "ModuleSymbols",
+            "FunctionInfo",
+            "ClassInfo",
+            "AttributeWrite",
+            "ProjectIndex",
+        ),
+    ),
+    ("repro/analysis/callgraph.py", ("CallSite", "CallGraph")),
+    ("repro/analysis/core.py", ("StatementOrder",)),
 )
+
+#: Q-table buffer attributes whose element-wise mutation must bump
+#: the monotone ``version`` counter (VER001): the dense flat buffer
+#: and the sparse dict.  Whole-attribute rebinds (``clone._q = ...``
+#: in ``copy()``) are exempt -- a fresh table starts its own counter.
+VERSIONED_BUFFER_ATTRS: Tuple[str, ...] = ("_flat", "_q")
+
+#: The monotone counter attribute every Q-table write path must bump
+#: (VER001).  Policy caches revalidate against it; a write that skips
+#: the bump leaves memoized predictions stale (the PR 8 bug class).
+VERSION_COUNTER = "version"
+
+#: Where the picklable work-cell constructor lives (PAR001): a call
+#: resolving to ``Cell`` imported from one of these modules is a
+#: parallel submission site.
+CELL_MODULES: Tuple[str, ...] = ("repro.evalx.parallel", "repro.evalx")
+CELL_CONSTRUCTOR = "Cell"
+
+#: Executor-style ``.submit(fn, ...)`` method names whose first
+#: argument crosses a process boundary (PAR001).
+SUBMIT_METHODS = frozenset({"submit"})
+
+#: Free-list release spellings (SIM003): the kernel's module-level
+#: ``_release(free, event)`` helper and the method form.  After either
+#: runs on an event, the event belongs to the free list.
+FREE_LIST_RELEASE_FUNCTIONS = frozenset({"_release"})
+FREE_LIST_RELEASE_METHODS = frozenset({"recycle"})
 
 
 def is_rng_module(posix_path: str) -> bool:

@@ -5,16 +5,33 @@ DET001     error     randomness only via ``repro.sim.random``
 DET002     error     no wall-clock reads outside ``benchmarks/``
 DET003     warning   no unordered iteration where events/randomness flow
 DET004     error     no float ``==``/``!=`` on simulation timestamps
+PAR001     error     Cell/.submit callables module-level, payloads picklable
+PAR002     error     worker-reachable code writes no module globals
+PERF001    warning   hot-path manifest classes declare ``__slots__``
 SIM001     error     process bodies yield only Timeout/Wait directives
 SIM002     warning   capture/snapshot methods pair with restore methods
-PERF001    warning   hot-path manifest classes declare ``__slots__``
+SIM003     error     reusable events recycled before callback, dead after
+VER001     error     Q-buffer mutations bump ``version`` on every path
 ========== ========= ====================================================
+
+DET/SIM001-2/PERF are per-module rules; VER001 and PAR001/PAR002 are
+whole-program rules running against the
+:class:`~repro.analysis.index.ProjectIndex` (see
+:mod:`repro.analysis.callgraph`).
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import = register)
     determinism,
+    parallel,
     performance,
     simulation,
+    versioning,
 )
 
-__all__ = ["determinism", "performance", "simulation"]
+__all__ = [
+    "determinism",
+    "parallel",
+    "performance",
+    "simulation",
+    "versioning",
+]

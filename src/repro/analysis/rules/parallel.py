@@ -1,0 +1,267 @@
+"""PAR001/PAR002: contracts on work crossing a process boundary.
+
+``repro.evalx.parallel`` fans experiment cells out to worker
+processes; the fleet executor builds on it.  Everything that crosses
+the boundary is pickled, and the results must be byte-identical at
+any ``--jobs``, which imposes two contracts the interpreter only
+enforces at runtime (or worse, silently):
+
+* **PAR001 (picklability)** -- the callable of a
+  :class:`~repro.evalx.parallel.Cell` (and the first argument of any
+  executor-style ``.submit``) must be a *module-level* function:
+  lambdas and nested defs fail to pickle, and bound methods drag
+  their whole instance across the boundary.  Cell payloads must not
+  contain lambdas or generator expressions either -- payloads are
+  scalars by design (PR 6), so a worker can be re-sharded without
+  changing results.
+* **PAR002 (state isolation)** -- code reachable from a worker entry
+  point must not write module-level globals (``global`` statements or
+  assignments to imported-module attributes).  Workers mutate a
+  *copy* of the module; the parent never sees the write, which is
+  the cross-process state-leak class PR 6 fixed in the cache-stats
+  plumbing.
+
+Worker entry points are discovered from the project index (every
+resolved ``Cell`` fn and ``.submit`` target) and PAR002 walks the
+conservative call graph from there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis import manifest
+from repro.analysis.core import Finding, ModuleContext, ProjectRule, register
+from repro.analysis.index import (
+    FunctionInfo,
+    ModuleSymbols,
+    ProjectIndex,
+    _own_nodes,
+)
+
+__all__ = ["UnpicklableSubmission", "WorkerGlobalWrite"]
+
+
+class _Submission:
+    """One Cell(...) or .submit(...) site with its callable/payload."""
+
+    __slots__ = ("module", "call", "fn", "payload", "via")
+
+    def __init__(
+        self,
+        module: ModuleContext,
+        call: ast.Call,
+        fn: Optional[ast.AST],
+        payload: List[ast.AST],
+        via: str,
+    ) -> None:
+        self.module = module
+        self.call = call
+        self.fn = fn
+        self.payload = payload
+        self.via = via  # "Cell" or "submit"
+
+
+def _iter_submissions(project: ProjectIndex) -> Iterator[_Submission]:
+    for path in sorted(project.modules):
+        module = project.modules[path]
+        symbols = project.symbols[path]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_cell_constructor(node.func, symbols):
+                fn, payload = _split_cell_args(node)
+                yield _Submission(module, node, fn, payload, "Cell")
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in manifest.SUBMIT_METHODS
+                and node.args
+            ):
+                yield _Submission(
+                    module, node, node.args[0], list(node.args[1:]), "submit"
+                )
+
+
+def _is_cell_constructor(func: ast.AST, symbols: ModuleSymbols) -> bool:
+    if isinstance(func, ast.Name):
+        imported = symbols.imported_from(func.id)
+        return (
+            imported is not None
+            and imported[1] == manifest.CELL_CONSTRUCTOR
+            and imported[0] in manifest.CELL_MODULES
+        )
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.attr != manifest.CELL_CONSTRUCTOR:
+            return False
+        base = func.value.id
+        dotted = symbols.modules.get(base)
+        if dotted is None:
+            imported = symbols.imported_from(base)
+            if imported is not None:
+                dotted = f"{imported[0]}.{imported[1]}"
+        return dotted is not None and dotted in manifest.CELL_MODULES
+    return False
+
+
+def _split_cell_args(
+    call: ast.Call,
+) -> Tuple[Optional[ast.AST], List[ast.AST]]:
+    """The ``fn`` argument and the payload arguments of a Cell call."""
+    fn: Optional[ast.AST] = None
+    payload: List[ast.AST] = []
+    for index, arg in enumerate(call.args):
+        if index == 0:
+            fn = arg
+        else:
+            payload.append(arg)
+    for keyword in call.keywords:
+        if keyword.arg == "fn" and fn is None:
+            fn = keyword.value
+        else:
+            payload.append(keyword.value)
+    return fn, payload
+
+
+def _resolve_submitted(
+    submission: _Submission, project: ProjectIndex
+) -> Tuple[Optional[FunctionInfo], Optional[str]]:
+    """``(resolved function, problem)`` for a submission's callable.
+
+    ``problem`` is a human-readable defect when the callable can be
+    proven unpicklable; ``(None, None)`` means "cannot resolve, give
+    the benefit of the doubt".
+    """
+    fn = submission.fn
+    if fn is None:
+        return None, None
+    if isinstance(fn, ast.Lambda):
+        return None, "a lambda (unpicklable)"
+    if isinstance(fn, ast.Name):
+        candidates = [
+            info
+            for info in project.functions_named(fn.id)
+            if info.module_path == submission.module.path
+        ]
+        for info in candidates:
+            if info.is_module_level:
+                return info, None
+        if candidates:
+            info = candidates[0]
+            kind = (
+                "a method" if info.owner_class is not None
+                else "a nested function"
+            )
+            return info, f"{kind} (`{info.qualname}`, unpicklable by name)"
+        imported = project.symbols[submission.module.path].imported_from(
+            fn.id
+        )
+        if imported is not None:
+            member = project.module_member(*imported)
+            if member is not None and not member.is_module_level:
+                return member, (
+                    f"not module-level in {member.module_name} "
+                    f"(`{member.qualname}`)"
+                )
+            return member, None
+        return None, None
+    if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+        base = fn.value.id
+        symbols = project.symbols[submission.module.path]
+        if base in symbols.modules:
+            member = project.module_member(symbols.modules[base], fn.attr)
+            return member, None  # module attribute: picklable by ref
+        if base == "self":
+            return None, f"a bound method (`self.{fn.attr}`)"
+        return None, f"a bound method (`{base}.{fn.attr}`)"
+    return None, None
+
+
+@register
+class UnpicklableSubmission(ProjectRule):
+    rule_id = "PAR001"
+    severity = "error"
+    description = (
+        "callables handed to Cell/.submit must be module-level and "
+        "cell payloads free of lambdas/generator expressions"
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        for submission in _iter_submissions(project):
+            _, problem = _resolve_submitted(submission, project)
+            if problem is not None:
+                anchor = submission.fn or submission.call
+                yield self.finding_at(
+                    submission.module.path,
+                    anchor,
+                    f"{submission.via} callable is {problem}; worker "
+                    "submissions must be module-level functions",
+                )
+            for arg in submission.payload:
+                for inner in ast.walk(arg):
+                    if isinstance(inner, (ast.Lambda, ast.GeneratorExp)):
+                        what = (
+                            "lambda"
+                            if isinstance(inner, ast.Lambda)
+                            else "generator expression"
+                        )
+                        yield self.finding_at(
+                            submission.module.path,
+                            inner,
+                            f"{submission.via} payload contains a {what}; "
+                            "payloads must be picklable scalars so cells "
+                            "re-shard without changing results",
+                        )
+                        break
+
+
+@register
+class WorkerGlobalWrite(ProjectRule):
+    rule_id = "PAR002"
+    severity = "error"
+    description = (
+        "code reachable from worker entry points must not write "
+        "module-level globals"
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        roots: List[FunctionInfo] = []
+        for submission in _iter_submissions(project):
+            info, _ = _resolve_submitted(submission, project)
+            if info is not None:
+                roots.append(info)
+        if not roots:
+            return
+        graph = project.callgraph()
+        for info in graph.reachable_from(roots):
+            for node in _own_nodes(info.node):
+                if isinstance(node, ast.Global):
+                    yield self.finding_at(
+                        info.module_path,
+                        node,
+                        f"worker-reachable {info.qualname} declares "
+                        f"`global {', '.join(node.names)}`; workers "
+                        "mutate a copy the parent never sees",
+                    )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    symbols = project.symbols[info.module_path]
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in symbols.modules
+                        ):
+                            yield self.finding_at(
+                                info.module_path,
+                                node,
+                                f"worker-reachable {info.qualname} writes "
+                                f"module attribute "
+                                f"`{target.value.id}.{target.attr}`; "
+                                "cross-process module state never "
+                                "propagates back",
+                            )
+        return

@@ -135,11 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="+", metavar="PATH",
                       help="files or directories to analyze")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
                       help="output format (default: text)")
     lint.add_argument("--rules", metavar="IDS",
-                      help="comma-separated rule IDs to run, e.g. "
-                      "DET001,DET002 (default: all)")
+                      help="comma-separated rule IDs or family prefixes "
+                      "to run, e.g. DET001,PAR (default: all)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="committed baseline of known findings; only "
+                      "findings absent from it fail the gate")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record the current unsuppressed findings "
+                      "into FILE and exit 0")
     return parser
 
 
@@ -328,9 +335,11 @@ def _cmd_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 
 def _cmd_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.analysis import (
+        Baseline,
         LintUsageError,
         lint_paths,
         render_json,
+        render_sarif,
         render_text,
     )
 
@@ -342,10 +351,21 @@ def _cmd_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             parser.error("--rules: expected comma-separated rule IDs")
     try:
         report = lint_paths(args.paths, rule_ids)
+        if args.write_baseline:
+            Baseline.from_findings(report.findings).save(args.write_baseline)
+            print(f"baseline written: {args.write_baseline} "
+                  f"({len(report.active)} finding(s) recorded)")
+            return 0
+        if args.baseline:
+            report = Baseline.load(args.baseline).apply(report)
     except LintUsageError as exc:
         parser.error(str(exc))
-    rendered = render_json(report) if args.format == "json" \
-        else render_text(report)
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = render_text(report)
     print(rendered)
     return 1 if report.active else 0
 

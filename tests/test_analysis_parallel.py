@@ -1,0 +1,299 @@
+"""PAR001/PAR002 fixtures: the process-boundary contracts.
+
+PAR001: Cell/.submit callables must be module-level (picklable by
+reference) and cell payloads must be scalars -- no lambdas or
+generator expressions smuggled across the fork.  PAR002: anything a
+worker can reach through the call graph must not write module-level
+state; workers mutate a copy the parent never observes (the PR 6
+cache-stats leak class).
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.core import ModuleContext, lint_modules
+
+
+def findings(source, rules, path="src/repro/evalx/fixture.py"):
+    found = lint_source(textwrap.dedent(source), path, rules)
+    return [f for f in found if not f.suppressed]
+
+
+def findings_multi(rules, *modules):
+    contexts = [
+        ModuleContext(path, textwrap.dedent(source))
+        for path, source in modules
+    ]
+    return [f for f in lint_modules(contexts, rules) if not f.suppressed]
+
+
+class TestPar001Callables:
+    def test_lambda_cell_fn_flagged(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            CELLS = [Cell(lambda seed: seed, 1)]
+            """,
+            ["PAR001"],
+        )
+        assert [f.rule for f in found] == ["PAR001"]
+        assert "lambda" in found[0].message
+
+    def test_nested_def_cell_fn_flagged(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            def build():
+                def run(seed):
+                    return seed
+                return Cell(run, 1)
+            """,
+            ["PAR001"],
+        )
+        assert [f.rule for f in found] == ["PAR001"]
+        assert "nested" in found[0].message
+
+    def test_bound_method_cell_fn_flagged(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            class Runner:
+                def build(self):
+                    return Cell(self.run, 1)
+
+                def run(self, seed):
+                    return seed
+            """,
+            ["PAR001"],
+        )
+        assert [f.rule for f in found] == ["PAR001"]
+        assert "bound method" in found[0].message
+
+    def test_module_level_fn_is_clean(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            def run(seed):
+                return seed
+
+            CELLS = [Cell(run, 1), Cell(fn=run)]
+            """,
+            ["PAR001"],
+        )
+        assert found == []
+
+    def test_imported_module_level_fn_is_clean(self):
+        found = findings_multi(
+            ["PAR001"],
+            (
+                "src/repro/evalx/workers.py",
+                """
+                def run(seed):
+                    return seed
+                """,
+            ),
+            (
+                "src/repro/evalx/driver.py",
+                """
+                from repro.evalx.parallel import Cell
+                from repro.evalx.workers import run
+
+                CELLS = [Cell(run, 1)]
+                """,
+            ),
+        )
+        assert found == []
+
+    def test_cell_via_module_alias_checked(self):
+        found = findings(
+            """
+            from repro.evalx import parallel
+
+            CELLS = [parallel.Cell(lambda s: s, 1)]
+            """,
+            ["PAR001"],
+        )
+        assert [f.rule for f in found] == ["PAR001"]
+
+    def test_unrelated_cell_class_ignored(self):
+        found = findings(
+            """
+            from biology import Cell
+
+            CELLS = [Cell(lambda s: s, 1)]
+            """,
+            ["PAR001"],
+        )
+        assert found == []
+
+    def test_submit_lambda_flagged(self):
+        found = findings(
+            """
+            def drive(pool):
+                return pool.submit(lambda: 1)
+            """,
+            ["PAR001"],
+        )
+        assert [f.rule for f in found] == ["PAR001"]
+
+    def test_submit_module_level_fn_clean(self):
+        # The executor.submit(_timed_cell, cell) idiom inside
+        # repro.evalx.parallel itself.
+        found = findings(
+            """
+            def _timed_cell(cell):
+                return cell
+
+            def drive(executor, cell):
+                return executor.submit(_timed_cell, cell)
+            """,
+            ["PAR001"],
+        )
+        assert found == []
+
+
+class TestPar001Payloads:
+    def test_lambda_payload_flagged(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            def run(seed):
+                return seed
+
+            CELLS = [Cell(run, key=lambda s: s)]
+            """,
+            ["PAR001"],
+        )
+        assert [f.rule for f in found] == ["PAR001"]
+        assert "payload" in found[0].message
+
+    def test_generator_expression_payload_flagged(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            def run(seeds):
+                return sum(seeds)
+
+            CELLS = [Cell(run, (s * 2 for s in range(4)))]
+            """,
+            ["PAR001"],
+        )
+        assert [f.rule for f in found] == ["PAR001"]
+        assert "generator expression" in found[0].message
+
+    def test_scalar_payloads_clean(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            def run(seed, name, weights):
+                return seed
+
+            CELLS = [Cell(run, 3, "tea-making", (0.1, 0.9))]
+            """,
+            ["PAR001"],
+        )
+        assert found == []
+
+
+class TestPar002WorkerState:
+    def test_global_write_in_entry_point_flagged(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            _HITS = 0
+
+            def run(seed):
+                global _HITS
+                _HITS += 1
+                return seed
+
+            CELLS = [Cell(run, 1)]
+            """,
+            ["PAR002"],
+        )
+        assert [f.rule for f in found] == ["PAR002"]
+        assert "_HITS" in found[0].message
+
+    def test_global_write_reached_through_helper_flagged(self):
+        found = findings_multi(
+            ["PAR002"],
+            (
+                "src/repro/evalx/stats.py",
+                """
+                COUNTER = 0
+
+                def bump_counter():
+                    global COUNTER
+                    COUNTER += 1
+                """,
+            ),
+            (
+                "src/repro/evalx/driver.py",
+                """
+                from repro.evalx.parallel import Cell
+                from repro.evalx.stats import bump_counter
+
+                def run(seed):
+                    bump_counter()
+                    return seed
+
+                CELLS = [Cell(run, 1)]
+                """,
+            ),
+        )
+        assert [f.rule for f in found] == ["PAR002"]
+        assert found[0].path == "src/repro/evalx/stats.py"
+
+    def test_module_attribute_write_flagged(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+            import repro.evalx.settings as settings
+
+            def run(seed):
+                settings.last_seed = seed
+                return seed
+
+            CELLS = [Cell(run, 1)]
+            """,
+            ["PAR002"],
+        )
+        assert [f.rule for f in found] == ["PAR002"]
+        assert "settings.last_seed" in found[0].message
+
+    def test_same_global_outside_worker_reach_is_clean(self):
+        found = findings(
+            """
+            _STATE = 0
+
+            def parent_only():
+                global _STATE
+                _STATE += 1
+            """,
+            ["PAR002"],
+        )
+        assert found == []
+
+    def test_local_mutation_in_worker_is_clean(self):
+        found = findings(
+            """
+            from repro.evalx.parallel import Cell
+
+            def run(seed):
+                acc = {}
+                acc["seed"] = seed
+                return acc
+
+            CELLS = [Cell(run, 1)]
+            """,
+            ["PAR002"],
+        )
+        assert found == []

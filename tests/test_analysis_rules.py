@@ -20,7 +20,8 @@ from repro.analysis import (
 )
 
 ALL_RULES = ("DET001", "DET002", "DET003", "DET004",
-             "SIM001", "SIM002", "PERF001")
+             "SIM001", "SIM002", "SIM003", "PERF001",
+             "VER001", "PAR001", "PAR002")
 
 
 def findings_for(source, rule, path="repro/somewhere/module.py"):
@@ -29,8 +30,23 @@ def findings_for(source, rule, path="repro/somewhere/module.py"):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_full_pack_registered(self):
         assert set(ALL_RULES) <= set(all_rule_ids())
+
+    def test_family_prefix_selects_family(self):
+        selected = {rule.rule_id for rule in resolve_rules(["DET"])}
+        assert selected == {"DET001", "DET002", "DET003", "DET004"}
+
+    def test_family_prefixes_combine_with_exact_ids(self):
+        selected = {rule.rule_id for rule in resolve_rules(["PAR", "VER001"])}
+        assert selected == {"PAR001", "PAR002", "VER001"}
+
+    def test_unknown_family_names_valid_families(self):
+        with pytest.raises(UnknownRuleError) as excinfo:
+            resolve_rules(["NOPE"])
+        message = str(excinfo.value)
+        for family in ("DET", "PAR", "PERF", "SIM", "VER"):
+            assert family in message
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(UnknownRuleError):
@@ -437,6 +453,59 @@ class TestSuppressions:
         assert len(found) == 1
         assert not found[0].suppressed
 
+    def test_multiline_statement_suppressed_from_any_line(self):
+        # The finding anchors on the call's first line; the comment
+        # sits on the closing-paren line two lines down.
+        source = """
+            import numpy as np
+
+            def cell(seed):
+                return np.random.default_rng(
+                    seed,
+                )  # repro: allow[DET001] fixture
+            """
+        found = lint_source(textwrap.dedent(source), "repro/x.py", ["DET001"])
+        assert len(found) == 1
+        assert found[0].line == 5
+        assert found[0].suppressed
+
+    def test_decorator_line_suppresses_def_finding(self):
+        # SIM002 anchors on the decorated def; the allow[] sits on
+        # the decorator line above it.
+        source = """
+            class Node:
+                @property  # repro: allow[SIM002] restore handled externally
+                def snapshot_state(self):
+                    return self._state
+            """
+        found = lint_source(textwrap.dedent(source), "repro/x.py", ["SIM002"])
+        assert len(found) == 1
+        assert found[0].suppressed
+
+    def test_def_line_suppresses_decorated_def_finding(self):
+        source = """
+            class Node:
+                @property
+                def snapshot_state(self):  # repro: allow[SIM002] external
+                    return self._state
+            """
+        found = lint_source(textwrap.dedent(source), "repro/x.py", ["SIM002"])
+        assert len(found) == 1
+        assert found[0].suppressed
+
+    def test_comment_inside_body_does_not_suppress_def(self):
+        # A compound statement's span is its header, not its body: a
+        # suppression buried in the function must not silence a
+        # finding on the def line.
+        source = """
+            class Node:
+                def snapshot_state(self):
+                    return self._state  # repro: allow[SIM002] wrong scope
+            """
+        found = lint_source(textwrap.dedent(source), "repro/x.py", ["SIM002"])
+        assert len(found) == 1
+        assert not found[0].suppressed
+
 
 class TestJsonSchema:
     def test_report_schema(self, tmp_path):
@@ -450,9 +519,11 @@ class TestJsonSchema:
         )
         report = lint_paths([str(bad)])
         document = json.loads(render_json(report))
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["files_checked"] == 1
-        assert document["summary"] == {"findings": 1, "suppressed": 1}
+        assert document["summary"] == {
+            "findings": 1, "suppressed": 1, "baselined": 0,
+        }
         (finding,) = document["findings"]
         assert set(finding) == {"path", "line", "column", "rule",
                                 "severity", "message"}

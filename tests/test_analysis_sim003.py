@@ -1,0 +1,196 @@
+"""SIM003 fixtures: kernel Event free-list ownership.
+
+Once ``_release(free, event)`` (or ``event.recycle()``) runs, the
+object belongs to the free list: the very next ``schedule`` may hand
+it to an unrelated timeout.  The rule enforces the two halves of the
+PR 7 contract -- recycle *before* the callback runs, and never touch
+the event after recycle -- while staying terminator-aware so the
+kernel's real drain loops (``_release`` + ``continue``) and dispatch
+idiom (bind callback, release, invoke) are clean.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+HEADER = "from repro.sim.kernel import _release\n"
+
+
+def sim3(source, path="src/repro/sim/fixture.py"):
+    found = lint_source(
+        HEADER + textwrap.dedent(source), path, ["SIM003"]
+    )
+    return [f for f in found if not f.suppressed]
+
+
+class TestUseAfterRecycle:
+    def test_read_after_release_flagged(self):
+        found = sim3(
+            """
+            def drain(free, event):
+                _release(free, event)
+                return event.time
+            """
+        )
+        assert [f.rule for f in found] == ["SIM003"]
+        assert "after" in found[0].message
+
+    def test_double_release_flagged(self):
+        found = sim3(
+            """
+            def drain(free, event):
+                _release(free, event)
+                _release(free, event)
+            """
+        )
+        assert [f.rule for f in found] == ["SIM003"]
+
+    def test_release_then_continue_is_clean(self):
+        # The queue-backend drain idiom: recycle cancelled heads and
+        # continue; the terminator makes later statements unreachable.
+        found = sim3(
+            """
+            def pop_due(free, heap, horizon):
+                while heap:
+                    event = heap.pop()
+                    if event.cancelled:
+                        _release(free, event)
+                        continue
+                    if event.time > horizon:
+                        return None
+                    return event
+                return None
+            """
+        )
+        assert found == []
+
+    def test_release_then_return_is_clean(self):
+        found = sim3(
+            """
+            def finish(free, event):
+                _release(free, event)
+                return None
+            """
+        )
+        assert found == []
+
+    def test_rebind_is_a_barrier(self):
+        found = sim3(
+            """
+            def recycle_and_refill(free, event, queue):
+                _release(free, event)
+                event = queue.pop()
+                return event.time
+            """
+        )
+        assert found == []
+
+    def test_use_after_release_at_outer_level_flagged(self):
+        # Release inside a conditional, use after the conditional:
+        # reachable by fall-through, so it is flagged.
+        found = sim3(
+            """
+            def dispatch(free, event):
+                if event.reusable:
+                    _release(free, event)
+                return event.time
+            """
+        )
+        assert [f.rule for f in found] == ["SIM003"]
+
+
+class TestRecycleBeforeCallback:
+    def test_callback_invoked_before_release_flagged(self):
+        found = sim3(
+            """
+            def step(free, event):
+                event.callback()
+                _release(free, event)
+            """
+        )
+        assert [f.rule for f in found] == ["SIM003"]
+        assert "before" in found[0].message
+
+    def test_bound_callback_invoked_before_release_flagged(self):
+        found = sim3(
+            """
+            def step(free, event):
+                callback = event.callback
+                callback()
+                _release(free, event)
+            """
+        )
+        assert [f.rule for f in found] == ["SIM003"]
+
+    def test_kernel_dispatch_idiom_is_clean(self):
+        # Simulator.step()/run_until(): bind the callback, recycle,
+        # then invoke the bound local.
+        found = sim3(
+            """
+            def step(free, event):
+                callback = event.callback
+                if event.reusable:
+                    _release(free, event)
+                callback()
+                return True
+            """
+        )
+        assert found == []
+
+    def test_callback_without_release_not_checked(self):
+        # Non-reusable dispatch invokes the callback directly and
+        # never releases; the contract does not apply.
+        found = sim3(
+            """
+            def fire(event):
+                event.callback()
+            """
+        )
+        assert found == []
+
+
+class TestScopingAndSpellings:
+    def test_recycle_method_spelling_checked(self):
+        found = sim3(
+            """
+            def drop(event):
+                event.recycle()
+                return event.time
+            """
+        )
+        assert [f.rule for f in found] == ["SIM003"]
+
+    def test_non_sim_module_not_checked(self):
+        source = (
+            "def drain(free, event):\n"
+            "    _release(free, event)\n"
+            "    return event.time\n"
+        )
+        found = lint_source(
+            source, "src/repro/planning/fixture.py", ["SIM003"]
+        )
+        assert found == []
+
+    def test_sim_directory_checked_without_import(self):
+        source = (
+            "def drain(free, event):\n"
+            "    _release(free, event)\n"
+            "    return event.time\n"
+        )
+        found = lint_source(source, "src/repro/sim/fixture.py", ["SIM003"])
+        assert [f.rule for f in found] == ["SIM003"]
+
+    def test_suppression_applies(self):
+        found = lint_source(
+            HEADER
+            + textwrap.dedent(
+                """
+                def drain(free, event):
+                    _release(free, event)
+                    return event.time  # repro: allow[SIM003] fixture
+                """
+            ),
+            "src/repro/sim/fixture.py",
+            ["SIM003"],
+        )
+        assert [f.suppressed for f in found] == [True]

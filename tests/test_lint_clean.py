@@ -24,11 +24,33 @@ def test_source_tree_is_lint_clean():
 
 
 def test_full_rule_pack_is_active():
-    # The gate is only meaningful if every shipped rule participates.
+    # The gate is only meaningful if every shipped rule participates,
+    # including the whole-program families (VER/PAR) and the
+    # free-list contract.
     assert set(all_rule_ids()) >= {
         "DET001", "DET002", "DET003", "DET004",
-        "SIM001", "SIM002", "PERF001",
+        "SIM001", "SIM002", "SIM003", "PERF001",
+        "VER001", "PAR001", "PAR002",
     }
+
+
+def test_committed_baseline_is_current():
+    # The committed baseline exists so a future rule can land
+    # strict-on-new-findings.  Today it must be empty (the tree is
+    # clean) and never stale: every entry must correspond to a live
+    # finding, or the file is hiding debt that was already paid.
+    from repro.analysis import Baseline
+
+    baseline_file = SRC.parent.parent / "lint-baseline.json"
+    assert baseline_file.is_file(), "lint-baseline.json must be committed"
+    baseline = Baseline.load(str(baseline_file))
+    report = lint_paths([str(SRC)])
+    stale = baseline.stale_entries(report)
+    assert not stale, f"stale baseline entries (debt already paid): {stale}"
+    assert len(baseline) == 0, (
+        "src/repro lints clean; the committed baseline must stay empty "
+        "until a new rule lands with known debt"
+    )
 
 
 def test_suppressions_are_justified():
