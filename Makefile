@@ -18,6 +18,8 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
+# Regenerates BENCH_fleet.json: scaling vs --jobs, the policy-plane
+# section (shm arena vs json reference), and the /dev/shm leak scan.
 fleet-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_fleet.py --benchmark-only -s
 

@@ -1,22 +1,29 @@
 """Bench: fleet-scale population simulation (``repro.fleet``).
 
-Runs a 1000-home fleet serial and with ``--jobs 4``, asserts the
-aggregate metrics are byte-identical (the fleet inherits the parallel
-runner's determinism contract) and that policy sharing trained only
-the distinct (routine, seed class) combinations, then writes the
-measurements to ``BENCH_fleet.json`` at the repo root: homes/sec per
-mode, the scaling curve vs ``--jobs``, parent peak RSS per 1k homes
-(the streaming reducers keep the parent O(1) in fleet size), and the
-byte-identity flag.
+Runs a 1000-home fleet serial and with ``--jobs 4`` on both policy
+planes (the zero-copy shared-memory arena and the JSON reference
+path), asserts the aggregate metrics are byte-identical everywhere
+(the fleet inherits the parallel runner's determinism contract; the
+plane is a speed knob, not a semantics knob) and that policy sharing
+trained only the distinct (routine, seed class) combinations, then
+writes the measurements to ``BENCH_fleet.json`` at the repo root:
+homes/sec per mode, the scaling curve vs ``--jobs`` with the
+``parallel_speedup_jobs4`` ratio, a per-plane timing section, the
+shared-memory leak scan (``/dev/shm`` must hold no arena segments
+after the runs), parent peak RSS per 1k homes (the streaming reducers
+keep the parent O(1) in fleet size), and the byte-identity flags.
 
 On a single-core box the process pool cannot beat serial wall-clock
-(worker forking is pure overhead there); the per-mode homes/sec are
-recorded separately so the scaling curve is honest either way.
+(worker forking is pure overhead there); ``cpu_count`` is recorded
+next to the ratio and a sub-1x speedup is *reported as a warning*,
+not a failure, so the numbers stay honest either way.
 """
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 import resource
 import time
 from pathlib import Path
@@ -38,9 +45,11 @@ SPEC = FleetSpec(
 )
 
 
-def _timed_fleet(jobs, cache_dir=None):
+def _timed_fleet(jobs, cache_dir=None, policy_plane="shm"):
     start = time.perf_counter()
-    result = run_fleet(SPEC, jobs=jobs, cache_dir=cache_dir)
+    result = run_fleet(
+        SPEC, jobs=jobs, cache_dir=cache_dir, policy_plane=policy_plane
+    )
     return result, time.perf_counter() - start
 
 
@@ -48,11 +57,26 @@ def test_fleet_scale(benchmark, tmp_path):
     definition = default_registry().get(SPEC.adl_name)
     distinct = len(distinct_trainings(SPEC.expand(definition)))
 
-    serial, serial_s = _timed_fleet(jobs=1)
-    parallel, parallel_s = _timed_fleet(jobs=4)
+    runs = {
+        (plane, jobs): _timed_fleet(jobs=jobs, policy_plane=plane)
+        for plane in ("shm", "json")
+        for jobs in (1, 4)
+    }
+    serial, serial_s = runs[("shm", 1)]
+    parallel, parallel_s = runs[("shm", 4)]
 
-    byte_identical = parallel.to_json() == serial.to_json()
+    reference = serial.to_json()
+    byte_identical = parallel.to_json() == reference
+    planes_identical = all(
+        result.to_json() == reference for result, _ in runs.values()
+    )
     assert byte_identical
+    assert planes_identical
+
+    # Arena hygiene: every shared-memory segment the shm runs
+    # published must be unlinked by the time run_fleet returns.
+    leaked = sorted(glob.glob("/dev/shm/rpp*"))
+    assert not leaked, f"leaked arena segments: {leaked}"
 
     # Policy sharing: a 1000-home fleet trains its distinct routines,
     # not one policy per home.
@@ -61,8 +85,20 @@ def test_fleet_scale(benchmark, tmp_path):
     assert serial.metrics.cache_hits == _HOMES
     assert distinct <= SPEC.seed_classes * 8
 
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    cpu_count = os.cpu_count() or 1
+    if speedup < 1.0:
+        print(
+            f"\nWARNING: jobs=4 ran {speedup:.2f}x the serial speed "
+            f"(cpu_count={cpu_count}); parallelism cannot pay for the "
+            "fork overhead on this box"
+        )
+
     # Streaming reducers: the parent never holds per-home reports.
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    worker_peak_rss_mb = (
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+    )
 
     # The benchmarked steady state: warm shared cache, jobs=4.
     cache = str(tmp_path / "fleet-cache")
@@ -80,7 +116,10 @@ def test_fleet_scale(benchmark, tmp_path):
         "distinct_trainings": distinct,
         "trainings_executed": serial.metrics.cache_misses,
         "cache_hits": serial.metrics.cache_hits,
+        "cpu_count": cpu_count,
         "byte_identical_jobs_1_vs_4": byte_identical,
+        "byte_identical_shm_vs_json": planes_identical,
+        "parallel_speedup_jobs4": round(speedup, 2),
         "scaling_vs_jobs": {
             "1": {
                 "seconds": round(serial_s, 3),
@@ -91,10 +130,23 @@ def test_fleet_scale(benchmark, tmp_path):
                 "homes_per_sec": round(_HOMES / parallel_s, 1),
             },
         },
+        "policy_plane": {
+            plane: {
+                str(jobs): {
+                    "seconds": round(seconds, 3),
+                    "homes_per_sec": round(_HOMES / seconds, 1),
+                }
+                for (run_plane, jobs), (_, seconds) in runs.items()
+                if run_plane == plane
+            }
+            for plane in ("shm", "json")
+        },
+        "shm_segments_leaked": leaked,
         "parent_peak_rss_mb": round(peak_rss_mb, 1),
         "parent_peak_rss_mb_per_1k_homes": round(
             peak_rss_mb / (_HOMES / 1000.0), 1
         ),
+        "worker_peak_rss_mb": round(worker_peak_rss_mb, 1),
         "metrics": serial.metrics.to_dict(),
     }
     _OUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -597,6 +597,29 @@ class StatementOrder:
         block_a, index_a = pa[depth]
         return block_b == block_a and index_b > index_a
 
+    def covers_before(self, a: ast.stmt, b: ast.stmt) -> bool:
+        """True when ``b`` runs before ``a`` on every path reaching ``a``.
+
+        The mirror of :meth:`covers_after`: ``b`` must sit *earlier*
+        in one of ``a``'s enclosing blocks, so every structural path
+        that reaches ``a`` has already executed ``b`` (a guard before
+        the enclosing ``if``/``else`` covers writes in both branches;
+        a guard in only one branch does not).  Loop bodies are
+        straight-line here, same fidelity as :meth:`covers_after`.
+        """
+        pa = self._paths.get(id(a))
+        pb = self._paths.get(id(b))
+        if pa is None or pb is None:
+            return False
+        depth = len(pb) - 1
+        if depth >= len(pa):
+            return False
+        if pb[:depth] != pa[:depth]:
+            return False
+        block_b, index_b = pb[depth]
+        block_a, index_a = pa[depth]
+        return block_b == block_a and index_b < index_a
+
     def may_follow(self, a: ast.stmt, b: ast.stmt) -> bool:
         """True when ``b`` may execute after ``a`` (fall-through
         reachability, stopping at terminator statements)."""

@@ -17,6 +17,10 @@ from __future__ import annotations
 from typing import Tuple
 
 __all__ = [
+    "ARENA_BUFFER_ATTRS",
+    "ARENA_FROZEN_FLAG",
+    "ARENA_THAW_ENTRY_POINTS",
+    "ARENA_THAW_METHOD",
     "CELL_CONSTRUCTOR",
     "CELL_MODULES",
     "FREE_LIST_RELEASE_FUNCTIONS",
@@ -109,6 +113,13 @@ HOT_PATH_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ),
     ("repro/analysis/callgraph.py", ("CallSite", "CallGraph")),
     ("repro/analysis/core.py", ("StatementOrder",)),
+    # The zero-copy policy plane (PR 10): one PolicyArtifact per
+    # distinct training per worker process, one HomeRuntime per shard
+    # cell, and the arena itself -- all touched once per home
+    # resolution on the fleet's hot path.
+    ("repro/planning/binary.py", ("PolicyArtifact",)),
+    ("repro/planning/shm.py", ("PolicyArena",)),
+    ("repro/fleet/home.py", ("HomeRuntime",)),
 )
 
 #: Q-table buffer attributes whose element-wise mutation must bump
@@ -121,6 +132,25 @@ VERSIONED_BUFFER_ATTRS: Tuple[str, ...] = ("_flat", "_q")
 #: (VER001).  Policy caches revalidate against it; a write that skips
 #: the bump leaves memoized predictions stale (the PR 8 bug class).
 VERSION_COUNTER = "version"
+
+#: Buffer attributes that may be *frozen* -- backed read-only by a
+#: shared-memory arena segment or an mmap'd artifact (PAR003): the
+#: dense flat Q buffer and the written-mask.  Element-wise writes to
+#: either must be dominated by the copy-on-write guard; an unguarded
+#: write raises at best (read-only NumPy view) and corrupts every
+#: attached process's policy at worst.
+ARENA_BUFFER_ATTRS: Tuple[str, ...] = ("_flat", "_written")
+
+#: The flag marking a table as arena-backed, and the copy-on-write
+#: entry point that clears it (PAR003).  ``if X._frozen: X._thaw()``
+#: before the write -- or a bare ``X._thaw()`` -- is the guard shape
+#: the rule accepts.
+ARENA_FROZEN_FLAG = "_frozen"
+ARENA_THAW_METHOD = "_thaw"
+
+#: Qualified names allowed to touch frozen buffers without a guard
+#: (PAR003): the thaw implementation itself is the guard.
+ARENA_THAW_ENTRY_POINTS: Tuple[str, ...] = ("DenseQTable._thaw",)
 
 #: Where the picklable work-cell constructor lives (PAR001): a call
 #: resolving to ``Cell`` imported from one of these modules is a

@@ -1,0 +1,213 @@
+"""PAR003: frozen arena buffers are copy-on-write, not write-through.
+
+The zero-copy policy plane (PR 10) restores dense Q-tables as NumPy
+views over shared-memory segments and mmap'd artifacts.  Those
+buffers are read-only and *shared between processes*: the table
+carries a ``_frozen`` flag, and the one sanctioned mutation path is
+the copy-on-write guard -- ``if X._frozen: X._thaw()`` (or a bare
+``X._thaw()``) before the first element-wise write.  An unguarded
+write raises ``ValueError: assignment destination is read-only`` at
+best; if a future backing is ever mapped writable, it silently
+corrupts the policy of every attached worker.
+
+The rule is the temporal mirror of VER001: where VER001 demands a
+version bump *after* every buffer write on every path, PAR003 demands
+a thaw guard *before* it
+(:meth:`~repro.analysis.core.StatementOrder.covers_before`).  The
+same write/alias detection is shared with VER001 (a local
+``flat = q._flat`` alias is still the live buffer), the same
+whole-attribute-rebind exemption applies (``self._flat = fresh``
+installs a new buffer -- that is exactly what ``_thaw`` does), and
+the same caller-absolution fallback holds: a helper with unguarded
+writes is fine when every call site into it is itself dominated by a
+guard (transitively, cycles treated as unguarded).  The declared
+entry points in :data:`repro.analysis.manifest.ARENA_THAW_ENTRY_POINTS`
+-- the thaw implementation itself -- are exempt outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis import manifest
+from repro.analysis.core import (
+    Finding,
+    ProjectRule,
+    StatementOrder,
+    register,
+)
+from repro.analysis.index import FunctionInfo, ProjectIndex, _own_nodes
+from repro.analysis.rules.versioning import (
+    _buffer_aliases,
+    _buffer_store,
+    _mutating_call_target,
+)
+
+__all__ = ["UnguardedFrozenWrite"]
+
+FuncKey = Tuple[str, str]
+
+
+class _FunctionFacts:
+    """Per-function PAR003 facts: writes, guards, statement order."""
+
+    __slots__ = ("info", "order", "writes", "guards")
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+        self.order = StatementOrder(info.node)
+        #: (statement, anchor node, buffer attr) per element-wise write.
+        self.writes: List[Tuple[ast.stmt, ast.AST, str]] = []
+        #: Statements after which the table is guaranteed thawed.
+        self.guards: List[ast.stmt] = []
+
+
+@register
+class UnguardedFrozenWrite(ProjectRule):
+    rule_id = "PAR003"
+    severity = "error"
+    description = (
+        "element-wise writes to arena-backed buffers (_flat/_written) "
+        "must be dominated by the copy-on-write thaw guard, directly "
+        "or in every caller"
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        graph = project.callgraph()
+        facts: Dict[FuncKey, _FunctionFacts] = {}
+        for info in project.iter_functions():
+            if info.qualname in manifest.ARENA_THAW_ENTRY_POINTS:
+                continue
+            facts[info.key] = _collect_facts(info)
+
+        unguarded: Dict[FuncKey, List[Tuple[ast.stmt, ast.AST, str]]] = {}
+        for key, fact in facts.items():
+            bad = [
+                write
+                for write in fact.writes
+                if not any(
+                    fact.order.covers_before(write[0], guard)
+                    for guard in fact.guards
+                )
+            ]
+            if bad:
+                unguarded[key] = bad
+
+        memo: Dict[FuncKey, bool] = {}
+
+        def absolved(key: FuncKey, stack: Set[FuncKey]) -> bool:
+            """True when every path into ``key`` thaws before the call."""
+            if key in memo:
+                return memo[key]
+            if key in stack or len(stack) > 12:
+                return False  # cycle / runaway depth: stay conservative
+            sites = graph.callers_of(key)
+            if not sites:
+                memo[key] = False
+                return False
+            ok = True
+            for site in sites:
+                caller = facts.get(site.caller.key)
+                if caller is None:
+                    ok = False
+                    break
+                stmt = caller.order.enclosing(site.node)
+                if stmt is not None and any(
+                    caller.order.covers_before(stmt, guard)
+                    for guard in caller.guards
+                ):
+                    continue
+                if absolved(site.caller.key, stack | {key}):
+                    continue
+                ok = False
+                break
+            memo[key] = ok
+            return ok
+
+        findings: List[Finding] = []
+        for key in sorted(unguarded):
+            if absolved(key, set()):
+                continue
+            fact = facts[key]
+            for _, anchor, attr in unguarded[key]:
+                findings.append(
+                    self.finding_at(
+                        fact.info.module_path,
+                        anchor,
+                        f"{fact.info.qualname} writes into `{attr}` with "
+                        f"no `{manifest.ARENA_THAW_METHOD}()` guard on "
+                        "some path (and no caller guards before the call "
+                        "either); the buffer may be a read-only shared-"
+                        "memory view",
+                    )
+                )
+        return findings
+
+
+def _collect_facts(info: FunctionInfo) -> _FunctionFacts:
+    fact = _FunctionFacts(info)
+    buffers = manifest.ARENA_BUFFER_ATTRS
+    aliases = _buffer_aliases(info.node, buffers)
+    for node in _own_nodes(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                attr = _buffer_store(target, buffers, aliases)
+                if attr is not None:
+                    _note_write(fact, node, attr)
+        elif isinstance(node, ast.Call):
+            attr = _mutating_call_target(node, buffers, aliases)
+            if attr is not None:
+                _note_write(fact, node, attr)
+            if _is_thaw_call(node):
+                _note_guard(fact, node)
+        elif isinstance(node, ast.If) and _is_thaw_conditional(node):
+            stmt = fact.order.enclosing(node)
+            if stmt is not None:
+                fact.guards.append(stmt)
+    return fact
+
+
+def _note_write(fact: _FunctionFacts, node: ast.AST, attr: str) -> None:
+    stmt = fact.order.enclosing(node)
+    if stmt is not None:
+        fact.writes.append((stmt, node, attr))
+
+
+def _note_guard(fact: _FunctionFacts, node: ast.AST) -> None:
+    stmt = fact.order.enclosing(node)
+    if stmt is not None:
+        fact.guards.append(stmt)
+
+
+def _is_thaw_call(call: ast.Call) -> bool:
+    """``<base>._thaw(...)`` -- the table is mutable afterwards."""
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == manifest.ARENA_THAW_METHOD
+    )
+
+
+def _is_thaw_conditional(node: ast.If) -> bool:
+    """``if X._frozen: ... X._thaw() ...`` -- the canonical guard.
+
+    The conditional as a whole guarantees "not frozen" on exit, so it
+    is the statement that dominates later writes (the thaw call inside
+    the branch covers nothing outside it).
+    """
+    mentions_flag = any(
+        isinstance(sub, ast.Attribute)
+        and sub.attr == manifest.ARENA_FROZEN_FLAG
+        for sub in ast.walk(node.test)
+    )
+    if not mentions_flag:
+        return False
+    return any(
+        isinstance(sub, ast.Call) and _is_thaw_call(sub)
+        for stmt in node.body
+        for sub in ast.walk(stmt)
+    )

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run each shard's homes on one shared event "
                        "kernel (batched, default) or one kernel per home; "
                        "never affects the output bytes")
+    fleet.add_argument("--policy-plane", choices=("shm", "json"),
+                       default="shm",
+                       help="how workers restore trained policies: a "
+                       "zero-copy shared-memory arena (shm, default) or "
+                       "the per-worker JSON reference path; never affects "
+                       "the output bytes")
     fleet.add_argument("--cache", metavar="DIR",
                        help="trained-policy cache directory (default: a "
                        "private per-run directory)")
@@ -321,6 +327,7 @@ def _cmd_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         jobs=args.jobs,
         cache_dir=args.cache,
         batch_homes=args.shard_mode == "batched",
+        policy_plane=args.policy_plane,
     )
     elapsed = time.perf_counter() - start  # repro: allow[DET002] timing display only
     print(result.to_json() if args.json else result.to_text())

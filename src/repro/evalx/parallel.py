@@ -93,17 +93,34 @@ class WorkerPool:
     whole run.  The underlying executor is created lazily: a pool
     opened for a ``jobs=1`` run never forks at all.
 
+    ``initializer``/``initargs`` run once in every worker process as
+    it starts -- the channel for per-run, many-cell state (the fleet's
+    shared-memory policy registry rides here, so cell payloads stay
+    scalar).  The initializer must be a module-level function and its
+    arguments picklable, the same contract as the cells themselves.
+
     Use as a context manager; :meth:`close` is idempotent.
     """
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> None:
         self.jobs = max(int(jobs), 1)
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def executor(self) -> Executor:
         """The lazily created process-pool executor."""
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            )
         return self._executor
 
     def close(self) -> None:

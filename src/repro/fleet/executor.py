@@ -29,22 +29,42 @@ holds O(shards) futures and O(1) metrics, never O(homes) reports.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import shutil
 import tempfile
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.adls.library import default_registry
+from repro.adls.library import ADLDefinition, default_registry
 from repro.core.config import CoReDAConfig
+from repro.core.errors import CoReDAError
 from repro.evalx.parallel import Cell, WorkerPool, run_cells
-from repro.fleet.home import simulate_home, train_home_policy
+from repro.fleet.home import HomeRuntime, simulate_home, train_home_policy
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.shard import simulate_shard
 from repro.fleet.spec import FleetSpec, HomeSpec, distinct_trainings
-from repro.planning.store import PolicyCache
+from repro.planning.action import action_space
+from repro.planning.binary import pack_policy_artifact, read_policy_artifact
+from repro.planning.shm import (
+    PolicyArena,
+    activate_local_arena,
+    deactivate_local_arena,
+    install_worker_registry,
+)
+from repro.planning.store import (
+    ARTIFACT_SUFFIX,
+    PolicyCache,
+    training_cache_key,
+)
 
 __all__ = ["FleetResult", "run_fleet"]
+
+#: Distinguishes concurrent fleet runs within one parent process --
+#: arena segment names derive from (pid, run sequence, cache key).
+_ARENA_SEQUENCE = itertools.count()
 
 
 @dataclass
@@ -103,19 +123,31 @@ def _shard_cell(
     training_episodes: int,
     cache_dir: str,
     batch_homes: bool,
+    policy_plane: str,
 ) -> Tuple[FleetMetrics, int, int]:
     """Wave-2 worker: simulate one shard of homes.
 
     Returns the shard's streaming accumulator **and** the worker-side
     cache counters -- the counters are per-process, so without this
     the parent would report zero hits for every parallel run.
+
+    The shard's :class:`~repro.fleet.home.HomeRuntime` carries the
+    policy plane: ``"shm"`` resolves policies through the shared-
+    memory arena installed by the pool initializer (falling back to
+    the mmap'd sidecar, then JSON), ``"json"`` is the byte-identity
+    reference path.
     """
     definition = default_registry().get(adl_name)
     cache = PolicyCache(cache_dir)
+    runtime = HomeRuntime(
+        definition, config, training_episodes, cache,
+        policy_plane=policy_plane,
+    )
     metrics = FleetMetrics()
     if batch_homes:
         for report in simulate_shard(
-            definition, homes, config, episodes, training_episodes, cache
+            definition, homes, config, episodes, training_episodes, cache,
+            runtime=runtime,
         ):
             metrics.add_home(report)
     else:
@@ -123,11 +155,65 @@ def _shard_cell(
             metrics.add_home(
                 simulate_home(
                     definition, home, config, episodes, training_episodes,
-                    cache,
+                    cache, runtime=runtime,
                 )
             )
     hits, misses = cache.stats()
     return metrics, hits, misses
+
+
+def _fleet_cache_keys(
+    definition: ADLDefinition,
+    representatives: Iterable[HomeSpec],
+    config: CoReDAConfig,
+    training_episodes: int,
+) -> List[str]:
+    """The content-addressed cache key of every distinct training."""
+    return [
+        training_cache_key(
+            definition.adl.name,
+            list(home.routine_ids),
+            config.planning,
+            home.train_seed,
+            training_episodes,
+        )
+        for home in representatives
+    ]
+
+
+def _publish_policies(
+    arena: PolicyArena,
+    cache_root: str,
+    keys: Iterable[str],
+    definition: ADLDefinition,
+) -> None:
+    """Publish each trained policy's packed artifact into the arena.
+
+    Prefers the binary sidecar wave 1 wrote (validated before
+    publishing); a missing or undecodable sidecar is re-packed from
+    the canonical JSON document.  A key that cannot be packed at all
+    is simply not published -- the workers fall back to JSON for it,
+    trading speed, never correctness.
+    """
+    root = Path(cache_root)
+    for key in keys:
+        payload: Optional[bytes] = None
+        try:
+            payload = (root / f"{key}{ARTIFACT_SUFFIX}").read_bytes()
+            read_policy_artifact(payload)
+        except (OSError, CoReDAError):
+            payload = None
+        if payload is None:
+            try:
+                document = json.loads(
+                    (root / f"{key}.json").read_text(encoding="utf-8")
+                )
+                payload = pack_policy_artifact(
+                    document, action_space(definition.adl)
+                )
+            except (OSError, ValueError, CoReDAError):
+                continue
+        arena.publish(key, payload)
 
 
 def run_fleet(
@@ -137,6 +223,7 @@ def run_fleet(
     cache_dir: Optional[str] = None,
     window: Optional[int] = None,
     batch_homes: bool = True,
+    policy_plane: str = "shm",
 ) -> FleetResult:
     """Run a whole fleet; byte-identical result at any ``jobs``.
 
@@ -146,7 +233,17 @@ def run_fleet(
     *within* the fleet works either way.  ``batch_homes`` selects the
     batched shard kernel (default) or the per-home reference path;
     both produce the same result byte for byte.
+
+    ``policy_plane`` selects how wave-2 workers restore trained
+    policies: ``"shm"`` (default) publishes each distinct training's
+    binary artifact into a shared-memory arena once and lets every
+    worker serve it zero-copy; ``"json"`` is the reference path
+    through per-worker JSON decoding.  The plane is a speed knob, not
+    a semantics knob -- metrics and cache accounting are byte-
+    identical either way, and the tests pin both.
     """
+    if policy_plane not in ("shm", "json"):
+        raise CoReDAError(f"unknown policy plane {policy_plane!r}")
     definition = default_registry().get(spec.adl_name)
     if config is None:
         config = CoReDAConfig(seed=spec.seed)
@@ -157,8 +254,27 @@ def run_fleet(
     if own_cache:
         cache_dir = tempfile.mkdtemp(prefix="repro-fleet-cache-")
     metrics = FleetMetrics()
+    arena: Optional[PolicyArena] = None
+    pool_kwargs: Dict[str, object] = {}
+    cache_keys: List[str] = []
+    if policy_plane == "shm":
+        cache_keys = _fleet_cache_keys(
+            definition, representatives, config, spec.training_episodes
+        )
+        arena = PolicyArena(
+            tag=f"{os.getpid()}.{next(_ARENA_SEQUENCE)}"
+        )
+        # Segment names are deterministic in the cache keys, so the
+        # worker registry exists before wave 1 trains anything and
+        # rides in the pool initializer -- cell payloads stay scalar.
+        pool_kwargs = {
+            "initializer": install_worker_registry,
+            "initargs": (
+                {key: arena.segment_name(key) for key in cache_keys},
+            ),
+        }
     try:
-        with WorkerPool(jobs) as pool:
+        with WorkerPool(jobs, **pool_kwargs) as pool:
             train_cells = [
                 Cell(
                     _train_cell,
@@ -176,6 +292,9 @@ def run_fleet(
             train_stats, _ = run_cells(
                 train_cells, jobs=jobs, window=window, pool=pool
             )
+            if arena is not None:
+                _publish_policies(arena, cache_dir, cache_keys, definition)
+                activate_local_arena(arena)
             shard_cells = [
                 Cell(
                     _shard_cell,
@@ -187,6 +306,7 @@ def run_fleet(
                         spec.training_episodes,
                         cache_dir,
                         batch_homes,
+                        policy_plane,
                     ),
                     label=f"fleet.shard[{index}]",
                 )
@@ -196,6 +316,9 @@ def run_fleet(
                 shard_cells, jobs=jobs, window=window, pool=pool
             )
     finally:
+        if arena is not None:
+            deactivate_local_arena(arena)
+            arena.close()
         if own_cache:
             shutil.rmtree(cache_dir, ignore_errors=True)
     for hits, misses in train_stats:

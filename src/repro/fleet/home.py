@@ -15,7 +15,7 @@ deployment/harvest helpers below so they cannot drift apart.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.adls.library import ADLDefinition
 from repro.core.adl import ReminderLevel, Routine
@@ -23,12 +23,19 @@ from repro.core.config import CoReDAConfig
 from repro.core.system import CoReDA
 from repro.fleet.metrics import HomeReport
 from repro.fleet.spec import HomeSpec
-from repro.planning.store import PolicyCache, train_routine_cached
+from repro.planning.shm import arena_artifact
+from repro.planning.store import (
+    PolicyCache,
+    train_routine_cached,
+    training_cache_key,
+    training_from_artifact,
+)
 from repro.resident.compliance import ComplianceModel
 from repro.resident.dementia import DementiaProfile
 from repro.sim.kernel import Simulator
 
 __all__ = [
+    "HomeRuntime",
     "simulate_home",
     "train_home_policy",
     "resolve_home_predictor",
@@ -38,6 +45,153 @@ __all__ = [
     "create_home_resident",
     "harvest_home_report",
 ]
+
+
+class HomeRuntime:
+    """Per-shard interning context: N homes share one decoded instance.
+
+    Everything a home needs that is a pure function of its scalar spec
+    -- the routine, the compliance model, the dementia profile, the
+    reliable handling overrides and above all the restored policy
+    predictor -- used to be rebuilt per home (and the profile per
+    *episode*).  All of these objects are immutable or stateless, so
+    homes can share them the way :mod:`repro.rl.dense` interns Q rows;
+    the runtime memoizes each by its scalar key.
+
+    ``policy_plane`` selects how the trained policy is restored:
+
+    * ``"json"`` (the byte-identity reference): the canonical path
+      through :func:`train_routine_cached` and the JSON document;
+    * ``"shm"`` (the zero-copy plane): the shared-memory arena first
+      (:func:`repro.planning.shm.arena_artifact`), then the mmap'd
+      binary sidecar, then the JSON fallback.  Every tier serves the
+      same training, so results are byte-identical across planes, and
+      each successful restore counts exactly one cache hit -- the
+      hit/miss accounting cannot depend on the plane or the shard
+      layout.
+    """
+
+    __slots__ = (
+        "definition",
+        "config",
+        "training_episodes",
+        "cache",
+        "policy_plane",
+        "_routines",
+        "_reliable",
+        "_compliance",
+        "_profiles",
+        "_predictors",
+        "_cache_keys",
+    )
+
+    def __init__(
+        self,
+        definition: ADLDefinition,
+        config: CoReDAConfig,
+        training_episodes: int,
+        cache: Optional[PolicyCache] = None,
+        policy_plane: str = "json",
+    ) -> None:
+        if policy_plane not in ("shm", "json"):
+            raise ValueError(f"unknown policy plane {policy_plane!r}")
+        self.definition = definition
+        self.config = config
+        self.training_episodes = training_episodes
+        self.cache = cache
+        self.policy_plane = policy_plane
+        self._routines: Dict[Tuple[int, ...], Routine] = {}
+        self._reliable: Optional[dict] = None
+        self._compliance: Dict[Tuple[float, float, float], ComplianceModel] = {}
+        self._profiles: Dict[float, DementiaProfile] = {}
+        self._predictors: dict = {}
+        self._cache_keys: Dict[tuple, str] = {}
+
+    def routine(self, home: HomeSpec) -> Routine:
+        """The home's routine (immutable, shared across homes)."""
+        key = tuple(home.routine_ids)
+        routine = self._routines.get(key)
+        if routine is None:
+            routine = Routine(self.definition.adl, list(key))
+            self._routines[key] = routine
+        return routine
+
+    def reliable(self) -> dict:
+        """The shared handling-override dict (consumed read-only)."""
+        if self._reliable is None:
+            self._reliable = reliable_handling(self.definition)
+        return self._reliable
+
+    def compliance(self, home: HomeSpec) -> ComplianceModel:
+        """The home's compliance model (frozen, stateless)."""
+        key = (home.minimal_response, home.specific_response, home.delay_mean)
+        model = self._compliance.get(key)
+        if model is None:
+            model = home_compliance(home)
+            self._compliance[key] = model
+        return model
+
+    def profile(self, home: HomeSpec) -> DementiaProfile:
+        """The home's dementia profile (frozen; was rebuilt per episode)."""
+        profile = self._profiles.get(home.severity)
+        if profile is None:
+            profile = DementiaProfile.from_severity(home.severity)
+            self._profiles[home.severity] = profile
+        return profile
+
+    def cache_key(self, home: HomeSpec) -> str:
+        """The home's content-addressed training key (memoized)."""
+        key = self._cache_keys.get(home.training_key)
+        if key is None:
+            key = training_cache_key(
+                self.definition.adl.name,
+                list(home.routine_ids),
+                self.config.planning,
+                home.train_seed,
+                self.training_episodes,
+            )
+            self._cache_keys[home.training_key] = key
+        return key
+
+    def predictor(self, home: HomeSpec):
+        """The home's restored policy, decoded once per training key.
+
+        Memoized reuse still counts as a cache hit -- the policy *was*
+        served from that cache entry, and the counters must not depend
+        on how homes were grouped (see
+        :meth:`~repro.planning.store.PolicyCache.stats`).
+        """
+        key = home.training_key
+        predictor = self._predictors.get(key)
+        if predictor is not None:
+            if self.cache is not None:
+                self.cache.hits += 1
+            return predictor
+        predictor = self._resolve(home)
+        self._predictors[key] = predictor
+        return predictor
+
+    def _resolve(self, home: HomeSpec):
+        cache = self.cache
+        adl = self.definition.adl
+        if self.policy_plane == "shm":
+            key = self.cache_key(home)
+            artifact = arena_artifact(key)
+            if artifact is not None and artifact.matches(adl):
+                if cache is not None:
+                    cache.hits += 1
+                return training_from_artifact(
+                    artifact, self.config.planning
+                ).predictor(adl)
+            if cache is not None:
+                artifact = cache.get_artifact(key, adl)
+                if artifact is not None:
+                    return training_from_artifact(
+                        artifact, self.config.planning
+                    ).predictor(adl)
+        return resolve_home_predictor(
+            self.definition, home, self.config, self.training_episodes, cache
+        )
 
 
 def train_home_policy(
@@ -137,11 +291,20 @@ def create_home_resident(
     compliance: ComplianceModel,
     reliable: dict,
     episode: int,
+    profile: Optional[DementiaProfile] = None,
 ):
-    """The resident for one of the home's guided episodes."""
+    """The resident for one of the home's guided episodes.
+
+    ``profile`` shares one frozen :class:`DementiaProfile` across
+    episodes (and homes of the same severity, via
+    :class:`HomeRuntime`); left ``None``, the profile is rebuilt from
+    the home's severity -- the two are value-equal by construction.
+    """
+    if profile is None:
+        profile = DementiaProfile.from_severity(home.severity)
     return system.create_resident(
         routine=routine,
-        dementia=DementiaProfile.from_severity(home.severity),
+        dementia=profile,
         compliance=compliance,
         handling_overrides=reliable,
         error_use_duration=5.0,
@@ -195,21 +358,32 @@ def simulate_home(
     training_episodes: int,
     cache: Optional[PolicyCache],
     horizon: float = 3600.0,
+    runtime: Optional[HomeRuntime] = None,
 ) -> HomeReport:
-    """Run one home's guided episodes on a private kernel."""
+    """Run one home's guided episodes on a private kernel.
+
+    ``runtime`` lends a shard-wide :class:`HomeRuntime` so shard-mates
+    share decoded policies and interned spec objects; without one, a
+    private runtime is built (same values, nothing shared).
+    """
+    if runtime is None:
+        runtime = HomeRuntime(definition, config, training_episodes, cache)
     system = build_home_deployment(
-        definition, home, config, training_episodes, cache
+        definition, home, config, training_episodes, cache,
+        predictor=runtime.predictor(home),
     )
-    routine = Routine(definition.adl, list(home.routine_ids))
-    reliable = reliable_handling(definition)
-    compliance = home_compliance(home)
+    routine = runtime.routine(home)
+    reliable = runtime.reliable()
+    compliance = runtime.compliance(home)
+    profile = runtime.profile(home)
     completed = 0
     reminders_seen = 0
     reminders_followed = 0
     self_recoveries = 0
     for episode in range(episodes):
         resident = create_home_resident(
-            system, home, routine, compliance, reliable, episode
+            system, home, routine, compliance, reliable, episode,
+            profile=profile,
         )
         outcome = system.run_episode(resident, horizon=horizon)
         completed += int(outcome.completed)

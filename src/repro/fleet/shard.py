@@ -32,16 +32,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.adls.library import ADLDefinition
-from repro.core.adl import Routine
 from repro.core.config import CoReDAConfig
 from repro.core.errors import CoReDAError
 from repro.fleet.home import (
+    HomeRuntime,
     build_home_deployment,
     create_home_resident,
     harvest_home_report,
-    home_compliance,
-    reliable_handling,
-    resolve_home_predictor,
 )
 from repro.fleet.metrics import HomeReport
 from repro.fleet.spec import HomeSpec
@@ -70,6 +67,7 @@ class _HomeRun:
         "reminders_followed",
         "self_recoveries",
         "report",
+        "profile",
         "_watchdog",
     )
 
@@ -80,13 +78,17 @@ class _HomeRun:
         system,
         episodes: int,
         horizon: float,
+        runtime: HomeRuntime,
     ) -> None:
         self.shard = shard
         self.home = home
         self.system = system
-        self.routine = Routine(system.adl, list(home.routine_ids))
-        self.reliable = reliable_handling(system.definition)
-        self.compliance = home_compliance(home)
+        # Interned through the shard runtime: shard-mates share one
+        # routine/compliance/profile instance per distinct scalar key.
+        self.routine = runtime.routine(home)
+        self.reliable = runtime.reliable()
+        self.compliance = runtime.compliance(home)
+        self.profile = runtime.profile(home)
         self.episodes = episodes
         self.horizon = horizon
         self.episode = 0
@@ -107,6 +109,7 @@ class _HomeRun:
             self.compliance,
             self.reliable,
             self.episode,
+            profile=self.profile,
         )
         process = resident.start_episode()
         deadline = system.sim.now + self.horizon
@@ -174,7 +177,11 @@ class ShardSimulator:
     #: enough that the driver notices all homes finishing promptly.
     _CHUNK = 600.0
 
-    def __init__(self, config: CoReDAConfig) -> None:
+    def __init__(
+        self,
+        config: CoReDAConfig,
+        runtime: Optional[HomeRuntime] = None,
+    ) -> None:
         self.config = config
         self.sim = Simulator(
             backend=config.sim.kernel_backend,
@@ -182,6 +189,7 @@ class ShardSimulator:
         )
         self._runs: List[_HomeRun] = []
         self._active = 0
+        self._runtime = runtime
         self._predictors: dict = {}
 
     def load(
@@ -194,54 +202,47 @@ class ShardSimulator:
         horizon: float = 3600.0,
     ) -> None:
         """Deploy one home onto the shared kernel and queue episode 0."""
-        predictor = self._resolve_predictor(
-            definition, home, training_episodes, cache
-        )
+        runtime = self._runtime
+        if runtime is None:
+            runtime = self._runtime = HomeRuntime(
+                definition, self.config, training_episodes, cache
+            )
+        predictor = self._resolve_predictor(runtime, home)
         system = build_home_deployment(
             definition, home, self.config, training_episodes, cache,
             sim=self.sim, predictor=predictor,
         )
         system.start()
-        run = _HomeRun(self, home, system, episodes, horizon)
+        run = _HomeRun(self, home, system, episodes, horizon, runtime)
         self._runs.append(run)
         self._active += 1
         run.begin_episode()
 
-    def _resolve_predictor(
-        self,
-        definition: ADLDefinition,
-        home: HomeSpec,
-        training_episodes: int,
-        cache: Optional[PolicyCache],
-    ):
-        """One cache restore per distinct training per shard.
+    def _resolve_predictor(self, runtime: HomeRuntime, home: HomeSpec):
+        """One policy restore per distinct training per shard.
 
-        The per-home path deserializes the cached training document
-        (disk read, JSON parse, Q-table rebuild) once per *home*;
-        shard-mates sharing a training key share the restored
-        read-only predictor instead.  Memoized reuse still counts as
-        a cache hit -- the policy *was* served from that cache entry,
-        and the counters must not depend on the shard layout.
+        The runtime memoizes the decoded policy per training key (one
+        disk/shared-memory restore per shard, whatever the plane) and
+        keeps the hit/miss counters shard-layout-independent: memoized
+        reuse still counts as a cache hit, because the policy *was*
+        served from that cache entry.
 
-        Under the batched inference backend the shared predictor is a
-        :class:`~repro.rl.batch.ShardPredictor`: its full greedy-
-        policy table is precomputed here, once per distinct training
-        per shard, so every per-step prediction inside the shared
-        kernel is a single array index (byte-identical answers; see
-        docs/architecture.md).
+        Under the batched inference backend the shared predictor is
+        additionally wrapped in a :class:`~repro.rl.batch.
+        ShardPredictor`: its full greedy-policy table is precomputed
+        here, once per distinct training per shard, so every per-step
+        prediction inside the shared kernel is a single array index
+        (byte-identical answers; see docs/architecture.md).
         """
+        predictor = runtime.predictor(home)
+        if self.config.planning.infer_backend != "batched":
+            return predictor
         key = home.training_key
-        predictor = self._predictors.get(key)
-        if predictor is None:
-            predictor = resolve_home_predictor(
-                definition, home, self.config, training_episodes, cache
-            )
-            if self.config.planning.infer_backend == "batched":
-                predictor = ShardPredictor(predictor).precompute()
-            self._predictors[key] = predictor
-        elif cache is not None:
-            cache.hits += 1
-        return predictor
+        wrapped = self._predictors.get(key)
+        if wrapped is None:
+            wrapped = ShardPredictor(predictor).precompute()
+            self._predictors[key] = wrapped
+        return wrapped
 
     def _finished(self, run: _HomeRun) -> None:
         self._active -= 1
@@ -282,13 +283,17 @@ def simulate_shard(
     training_episodes: int,
     cache: Optional[PolicyCache],
     horizon: float = 3600.0,
+    runtime: Optional[HomeRuntime] = None,
 ) -> List[HomeReport]:
     """Batched counterpart of mapping ``simulate_home`` over ``homes``.
 
     Returns the homes' reports in input order; byte-identical to the
-    per-home path (see the module docstring for why).
+    per-home path (see the module docstring for why).  ``runtime``
+    lends a caller-owned :class:`~repro.fleet.home.HomeRuntime` (the
+    fleet executor builds one per shard cell, wired to the selected
+    policy plane); without one a private runtime is created.
     """
-    shard = ShardSimulator(config)
+    shard = ShardSimulator(config, runtime=runtime)
     for home in homes:
         shard.load(
             definition, home, episodes, training_episodes, cache, horizon

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import tempfile
 from dataclasses import asdict, dataclass
@@ -31,6 +32,11 @@ from repro.core.adl import ADL, ReminderLevel, Routine
 from repro.core.config import PlanningConfig, default_q_backend
 from repro.core.errors import CoReDAError
 from repro.planning.action import PromptAction, action_space
+from repro.planning.binary import (
+    PolicyArtifact,
+    pack_policy_artifact,
+    read_policy_artifact,
+)
 from repro.planning.predictor import NextStepPredictor
 from repro.planning.state import PlanningState
 from repro.planning.trainer import LearningCurve, RoutineTrainer, TrainingResult
@@ -43,17 +49,25 @@ __all__ = [
     "save_predictor",
     "load_predictor",
     "FORMAT_VERSION",
+    "ARTIFACT_SUFFIX",
     "PolicyCache",
     "CachedTraining",
     "training_cache_key",
     "training_document",
     "curve_from_document",
     "predictor_from_document",
+    "training_from_artifact",
     "train_routine_cached",
 ]
 
 #: Bump when the on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
+
+#: Extension of the packed binary sidecar written next to each JSON
+#: document (see :mod:`repro.planning.binary`).  The JSON document
+#: stays canonical; the sidecar is a pure serving optimization and
+#: every reader falls back to JSON when it is missing or undecodable.
+ARTIFACT_SUFFIX = ".qbin"
 
 
 def _entries_from_qtable(q: QTable) -> List[dict]:
@@ -245,6 +259,17 @@ class PolicyCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Documents actually parsed from JSON by this process --
+        #: ``hits - memo-served`` lookups.  Purely observational (the
+        #: memoization satellite's test hook); never part of
+        #: :meth:`stats`, which must stay shard-layout-independent.
+        self.json_decodes = 0
+        # key -> ((st_mtime_ns, st_size, st_ino), document): a worker
+        # restoring the same training twice decodes once.  The stat
+        # signature invalidates the memo when the entry is replaced
+        # (same-content rewrites are the norm, but correctness must
+        # not rely on that).
+        self._memo: Dict[str, Tuple[Tuple[int, int, int], dict]] = {}
         self._sweep_stale_temps()
 
     def _sweep_stale_temps(self) -> None:
@@ -263,21 +288,96 @@ class PolicyCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def artifact_path_for(self, key: str) -> Path:
+        """Where ``key``'s binary sidecar lives (if it exists)."""
+        return self.root / f"{key}{ARTIFACT_SUFFIX}"
+
     def get(self, key: str) -> Optional[dict]:
-        """The cached document for ``key``, or ``None``."""
+        """The cached document for ``key``, or ``None``.
+
+        Decoded documents are memoized per key: restoring the same
+        training twice in one process parses the JSON once.  The
+        hit/miss counters are unaffected by the memo -- a memo-served
+        lookup *is* a cache hit, so :meth:`stats` cannot depend on
+        how homes were grouped into shards or workers.
+        """
         path = self.path_for(key)
+        try:
+            stat = path.stat()
+        except OSError:
+            self._memo.pop(key, None)
+            self.misses += 1
+            return None
+        signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        memo = self._memo.get(key)
+        if memo is not None and memo[0] == signature:
+            self.hits += 1
+            return memo[1]
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
+            self._memo.pop(key, None)
             self.misses += 1
             return None
+        self.json_decodes += 1
+        self._memo[key] = (signature, document)
         self.hits += 1
         return document
 
-    def put(self, key: str, document: dict) -> None:
-        """Store ``document`` under ``key`` (atomic, last write wins)."""
-        path = self.path_for(key)
-        blob = json.dumps(document)
+    def get_artifact(
+        self, key: str, adl: Optional[ADL] = None
+    ) -> Optional[PolicyArtifact]:
+        """The ``mmap``-backed binary artifact for ``key``, or ``None``.
+
+        Success counts as a cache hit (the training *was* served from
+        this cache); every failure -- missing sidecar, truncation,
+        corruption, ADL mismatch -- returns ``None`` **without**
+        counting, so the caller's JSON fallback does the accounting
+        exactly once per lookup.
+        """
+        path = self.artifact_path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except (OSError, ValueError):
+            return None
+        try:
+            artifact = read_policy_artifact(mapped)
+        except CoReDAError:
+            try:
+                mapped.close()
+            except BufferError:
+                # The in-flight exception's traceback still references
+                # a view of the map; the GC closes it once that frees.
+                pass
+            return None
+        if adl is not None and not artifact.matches(adl):
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(
+        self,
+        key: str,
+        document: dict,
+        actions: Optional[Sequence[PromptAction]] = None,
+    ) -> None:
+        """Store ``document`` under ``key`` (atomic, last write wins).
+
+        With ``actions`` (the deployment's action space), a packed
+        binary sidecar is written next to the document so later
+        readers can serve the policy without parsing; the sidecar
+        uses the same atomic temp-and-rename protocol.
+        """
+        self._write_atomic(self.path_for(key), json.dumps(document).encode("utf-8"))
+        self._memo.pop(key, None)
+        if actions is not None:
+            blob = pack_policy_artifact(document, actions)
+            self._write_atomic(self.artifact_path_for(key), blob)
+
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
         # The ``.part`` suffix keeps in-flight temps out of ``*.json``
         # globs (pathlib's ``*`` matches a leading dot, so a crashed
         # writer's ``.tmp-*.json`` leftover used to inflate __len__).
@@ -286,7 +386,7 @@ class PolicyCache:
                 dir=str(self.root), prefix=".tmp-", suffix=".part"
             )
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)
                 os.replace(tmp, path)
                 return
@@ -332,16 +432,53 @@ class CachedTraining:
 
     curve: LearningCurve
     convergence: Dict[float, Optional[int]]
-    document: dict
+    document: Optional[dict]
     cache_hit: bool
+    #: Set when the training was served from a binary artifact (the
+    #: zero-copy policy plane); ``document`` is ``None`` then.
+    artifact: Optional[PolicyArtifact] = None
 
     def predictor(self, adl: ADL, criterion: float = 0.95) -> NextStepPredictor:
         """Greedy predictor over the (restored) Q-table."""
+        converged = self.convergence.get(criterion) is not None
+        if self.artifact is not None:
+            return self.artifact.predictor(adl, converged=converged)
         return predictor_from_document(
             self.document,
             adl,
-            converged=self.convergence.get(criterion) is not None,
+            converged=converged,
         )
+
+
+def training_from_artifact(
+    artifact: PolicyArtifact,
+    config: PlanningConfig,
+    criteria: Sequence[float] = (0.95, 0.98),
+) -> CachedTraining:
+    """A :class:`CachedTraining` served from a binary artifact.
+
+    Value-equal to the JSON path of :func:`train_routine_cached` on
+    the same training: the curve round-trips as exact float64, so the
+    convergence map recomputed here lands on the same iterations, and
+    the predictor answers byte-identically (same Q values at the same
+    ⟨state, action⟩ pairs, same repr-order tie-breaking).
+    """
+    curve = artifact.curve()
+    convergence = {
+        criterion: convergence_iteration(
+            curve.smoothed_accuracy,
+            criterion,
+            patience=config.convergence_patience,
+        )
+        for criterion in criteria
+    }
+    return CachedTraining(
+        curve=curve,
+        convergence=convergence,
+        document=None,
+        cache_hit=True,
+        artifact=artifact,
+    )
 
 
 def _build_learner(config: PlanningConfig, learner_spec):
@@ -406,7 +543,7 @@ def train_routine_cached(
         )
         document = training_document(result, adl.name)
         if cache is not None:
-            cache.put(key, document)
+            cache.put(key, document, actions=action_space(adl))
         cache_hit = False
     else:
         cache_hit = True

@@ -232,6 +232,7 @@ class DenseQTable:
         "_g1_view",
         "_g1",
         "_grow_count",
+        "_frozen",
     )
 
     def __init__(
@@ -273,6 +274,66 @@ class DenseQTable:
         self._g1_view: Optional[_ActionView] = None
         self._g1: Dict[int, object] = {}
         self._grow_count = 0
+        # Frozen tables serve reads straight out of an externally
+        # owned buffer (an mmap'd sidecar or a shared-memory segment,
+        # see repro.planning.binary); the first write thaws them into
+        # private storage (copy-on-write).
+        self._frozen = False
+
+    @classmethod
+    def from_frozen_buffers(
+        cls,
+        initial_value: float,
+        states: Sequence[State],
+        actions: Sequence[Action],
+        q2d: np.ndarray,
+        written: np.ndarray,
+    ) -> "DenseQTable":
+        """A read-only table served directly over external buffers.
+
+        ``q2d`` is the float64 ``(n_states, n_actions)`` matrix and
+        ``written`` its flat uint8 support mask; ``states`` and
+        ``actions`` are interned in buffer order, so row/column ids
+        line up with the matrix exactly.  Reads never copy; the first
+        write (or any interning that outgrows the buffers) thaws the
+        table into private storage via :meth:`_thaw`.
+        """
+        table = cls(float(initial_value))
+        index = table.index
+        for state in states:
+            index.state_id(state)
+        for action in actions:
+            index.action_id(action)
+        rows, cols = q2d.shape
+        if rows != len(index.states) or cols != len(index.actions):
+            raise ValueError(
+                "frozen buffer shape does not match the interned tables"
+            )
+        if written.shape != (rows * cols,):
+            raise ValueError("written mask does not match the Q matrix")
+        table._flat = q2d.reshape(-1)
+        table._written = written
+        table._rows = rows
+        table._cols = cols
+        table._frozen = True
+        return table
+
+    def _thaw(self) -> None:
+        """Copy-on-write: materialize private, mutable buffers.
+
+        The declared entry point for writes to an arena-backed table
+        -- every element-wise mutation of ``_flat``/``_written`` must
+        be preceded by this guard (the analyzer's PAR003 rule enforces
+        it project-wide).  Idempotent and cheap to probe: the hot
+        paths pay one attribute test when the table is already
+        private.
+        """
+        if not self._frozen:
+            return
+        self._flat = [float(value) for value in self._flat]
+        self._written = bytearray(bytes(self._written))
+        self._array = None
+        self._frozen = False
 
     def _view(self, actions: Sequence[Action]) -> _ActionView:
         """The action view, via the one-entry identity cache."""
@@ -289,6 +350,8 @@ class DenseQTable:
 
     def _grow(self) -> None:
         """Grow the buffers to cover everything the index has interned."""
+        if self._frozen:
+            self._thaw()
         need_rows = len(self.index.states)
         need_cols = len(self.index.actions)
         rows, cols = self._rows, self._cols
@@ -364,6 +427,8 @@ class DenseQTable:
         aid = self.index.action_id(action)
         if sid >= self._rows or aid >= self._cols:
             self._grow()
+        if self._frozen:
+            self._thaw()
         off = sid * self._cols + aid
         self._flat[off] = float(value)
         self._written[off] = 1
@@ -380,6 +445,8 @@ class DenseQTable:
             aid = self.index.action_id(action)
         if sid >= self._rows or aid >= self._cols:
             self._grow()
+        if self._frozen:
+            self._thaw()
         off = sid * self._cols + aid
         flat = self._flat
         flat[off] = flat[off] + delta
@@ -467,6 +534,9 @@ class DenseQTable:
         clone._written = self._written[:]
         clone._rows = self._rows
         clone._cols = self._cols
+        # Slicing a frozen table's ndarray buffers returns views, so
+        # the clone stays frozen and thaws independently on write.
+        clone._frozen = self._frozen
         return clone
 
     def max_abs_difference(self, other) -> float:
@@ -795,6 +865,8 @@ class DenseTraces:
         e = self._e
         if type(q) is DenseQTable and q.index is self.index:
             q._ensure_capacity()
+            if q._frozen:
+                q._thaw()
             flat = q._flat
             written = q._written
             cols = q._cols

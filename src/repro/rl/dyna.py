@@ -200,6 +200,8 @@ class DynaQLearner:
             # marked written by its real-step update in observe.
             q = self.q
             discount = self.discount
+            if q._frozen:
+                q._thaw()
             flat = q._flat
             grows = q._grow_count
             refresh = self._refresh_record
@@ -266,6 +268,8 @@ class DynaQLearner:
             or view.max_id >= q._cols
         ):
             q._grow()
+        if q._frozen:
+            q._thaw()
         flat = q._flat
         if record[8] != q._grow_count:
             self._refresh_record(record)

@@ -144,6 +144,8 @@ class ExpectedSarsaLearner:
                 or (view is not None and view.max_id >= q._cols)
             ):
                 q._grow()
+            if q._frozen:
+                q._thaw()
             cols = q._cols
             flat = q._flat
             if view is None:

@@ -148,6 +148,8 @@ class SarsaLambdaLearner:
                 or next_aid >= q._cols
             ):
                 q._grow()
+            if q._frozen:
+                q._thaw()
             cols = q._cols
             flat = q._flat
             written = q._written

@@ -167,6 +167,8 @@ class TDLambdaQLearner:
                 or (view is not None and view.max_id >= q._cols)
             ):
                 q._grow()
+            if q._frozen:
+                q._thaw()
             cols = q._cols
             flat = q._flat
             written = q._written

@@ -1,0 +1,259 @@
+"""PAR003 fixtures: frozen arena buffers thaw before element writes.
+
+The zero-copy policy plane (PR 10) restores Q-tables over read-only
+shared-memory views; the one sanctioned mutation path is the
+copy-on-write guard ``if X._frozen: X._thaw()`` before the write.
+These fixtures pin the rule's temporal logic (a guard *dominates* the
+write -- mirror of VER001's bump-after), the alias tracking
+(``flat = q._flat``), the whole-attribute-rebind exemption that
+``_thaw`` itself relies on, the declared-entry-point exemption, and
+caller absolution through the call graph.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.core import ModuleContext, lint_modules
+
+
+def par3_findings(source, path="src/repro/rl/fixture.py"):
+    found = lint_source(textwrap.dedent(source), path, ["PAR003"])
+    return [f for f in found if not f.suppressed]
+
+
+def par3_findings_multi(*modules):
+    contexts = [
+        ModuleContext(path, textwrap.dedent(source))
+        for path, source in modules
+    ]
+    return [
+        f for f in lint_modules(contexts, ["PAR003"]) if not f.suppressed
+    ]
+
+
+class TestGuardShapes:
+    def test_unguarded_write_flagged(self):
+        found = par3_findings(
+            """
+            class T:
+                def poke(self):
+                    self._flat[0] = 1.0
+            """
+        )
+        assert [f.rule for f in found] == ["PAR003"]
+        assert "_thaw" in found[0].message
+
+    def test_conditional_guard_dominates_later_writes(self):
+        found = par3_findings(
+            """
+            class T:
+                def poke(self, cond):
+                    if self._frozen:
+                        self._thaw()
+                    if cond:
+                        self._flat[0] = 1.0
+                    else:
+                        self._written[3] = 1
+            """
+        )
+        assert found == []
+
+    def test_bare_thaw_call_is_a_guard(self):
+        found = par3_findings(
+            """
+            def fused(q, off, v):
+                q._thaw()
+                flat = q._flat
+                flat[off] = v
+            """
+        )
+        assert found == []
+
+    def test_guard_in_one_branch_does_not_cover_after(self):
+        found = par3_findings(
+            """
+            class T:
+                def poke(self, flag):
+                    if flag:
+                        if self._frozen:
+                            self._thaw()
+                    self._flat[0] = 1.0
+            """
+        )
+        assert [f.rule for f in found] == ["PAR003"]
+
+    def test_guard_after_the_write_does_not_count(self):
+        found = par3_findings(
+            """
+            class T:
+                def poke(self):
+                    self._flat[0] = 1.0
+                    if self._frozen:
+                        self._thaw()
+            """
+        )
+        assert [f.rule for f in found] == ["PAR003"]
+
+    def test_frozen_test_without_thaw_is_not_a_guard(self):
+        found = par3_findings(
+            """
+            class T:
+                def poke(self):
+                    if self._frozen:
+                        return
+                    self._flat[0] = 1.0
+            """
+        )
+        # The early return *does* protect at runtime, but the rule is
+        # deliberately structural: the sanctioned idiom is the thaw.
+        assert [f.rule for f in found] == ["PAR003"]
+
+
+class TestExemptions:
+    def test_whole_attribute_rebind_is_exempt(self):
+        # Exactly what _thaw does: install fresh private buffers.
+        found = par3_findings(
+            """
+            class T:
+                def refresh(self, n):
+                    self._flat = [0.0] * n
+                    self._written = bytearray(n)
+            """
+        )
+        assert found == []
+
+    def test_declared_thaw_entry_point_is_exempt(self):
+        found = par3_findings(
+            """
+            class DenseQTable:
+                def _thaw(self):
+                    flat = self._flat
+                    for index in range(3):
+                        flat[index] = float(flat[index])
+            """
+        )
+        assert found == []
+
+    def test_same_method_name_on_other_class_not_exempt(self):
+        found = par3_findings(
+            """
+            class Other:
+                def _thaw(self):
+                    self._flat[0] = 1.0
+            """
+        )
+        assert [f.rule for f in found] == ["PAR003"]
+
+    def test_mutating_method_call_on_buffer_flagged(self):
+        found = par3_findings(
+            """
+            def extend(q, values):
+                q._flat.extend(values)
+            """
+        )
+        assert [f.rule for f in found] == ["PAR003"]
+
+
+class TestCallerAbsolution:
+    def test_helper_guarded_at_every_call_site_is_clean(self):
+        found = par3_findings(
+            """
+            class T:
+                def _store(self, off, v):
+                    self._flat[off] = v
+
+                def entry(self, off, v):
+                    if self._frozen:
+                        self._thaw()
+                    self._store(off, v)
+            """
+        )
+        assert found == []
+
+    def test_helper_with_one_unguarded_caller_flagged(self):
+        found = par3_findings(
+            """
+            class T:
+                def _store(self, off, v):
+                    self._flat[off] = v
+
+                def safe(self, off, v):
+                    if self._frozen:
+                        self._thaw()
+                    self._store(off, v)
+
+                def unsafe(self, off, v):
+                    self._store(off, v)
+            """
+        )
+        assert [f.rule for f in found] == ["PAR003"]
+        assert "_store" in found[0].message
+
+    def test_absolution_crosses_modules(self):
+        found = par3_findings_multi(
+            (
+                "src/repro/rl/helper.py",
+                """
+                def apply_update(q, off, v):
+                    flat = q._flat
+                    flat[off] = v
+                """,
+            ),
+            (
+                "src/repro/rl/caller.py",
+                """
+                from repro.rl.helper import apply_update
+
+                def learn(q, off, v):
+                    if q._frozen:
+                        q._thaw()
+                    apply_update(q, off, v)
+                """,
+            ),
+        )
+        assert found == []
+
+    def test_uncalled_helper_stays_flagged(self):
+        found = par3_findings(
+            """
+            def orphan(q, off, v):
+                q._written[off] = 1
+            """
+        )
+        assert [f.rule for f in found] == ["PAR003"]
+
+
+class TestShippedIdioms:
+    def test_the_dense_grow_idiom_is_clean(self):
+        # The shape shipped in repro.rl.dense: guard at the top, then
+        # fresh-list rebinds and interleaved element writes.
+        found = par3_findings(
+            """
+            class DenseQTable:
+                def _grow(self, rows, cols):
+                    if self._frozen:
+                        self._thaw()
+                    fresh = [0.0] * (rows * cols)
+                    for index in range(rows):
+                        fresh[index] = self._flat[index]
+                    self._flat = fresh
+            """
+        )
+        assert found == []
+
+    def test_fused_learner_shape_is_clean(self):
+        found = par3_findings(
+            """
+            def observe(q, off, target, alpha, replacing):
+                q._grow()
+                if q._frozen:
+                    q._thaw()
+                flat = q._flat
+                if replacing:
+                    flat[off] = target
+                else:
+                    flat[off] = flat[off] + alpha * target
+                q.version += 1
+            """
+        )
+        assert found == []

@@ -338,6 +338,66 @@ class TestShardModes:
         assert json.loads(batched) == json.loads(per_home)
 
 
+class TestPolicyPlanes:
+    """Zero-copy shared-memory arena vs the JSON reference path.
+
+    The plane is a speed knob, not a semantics knob: both must
+    produce the same bytes and the same cache accounting at any
+    ``--jobs``, in both shard modes.  (``serial_result`` runs on the
+    default plane, which is ``shm`` -- so every byte-identity test in
+    this module already exercises the arena; these pin the reference
+    path against it explicitly.)
+    """
+
+    def test_json_plane_byte_identical_serial(self, serial_result):
+        json_plane = run_fleet(SPEC, jobs=1, policy_plane="json")
+        assert json_plane.to_json() == serial_result.to_json()
+
+    def test_json_plane_byte_identical_parallel_per_home(
+        self, serial_result
+    ):
+        json_plane = run_fleet(
+            SPEC, jobs=2, policy_plane="json", batch_homes=False
+        )
+        assert json_plane.to_json() == serial_result.to_json()
+
+    def test_shm_plane_byte_identical_parallel(self, serial_result):
+        shm_plane = run_fleet(SPEC, jobs=2, policy_plane="shm")
+        assert shm_plane.to_json() == serial_result.to_json()
+
+    def test_hit_accounting_is_plane_independent(self, serial_result):
+        json_plane = run_fleet(SPEC, jobs=1, policy_plane="json")
+        assert json_plane.metrics.cache_hits == (
+            serial_result.metrics.cache_hits
+        )
+        assert json_plane.metrics.cache_misses == (
+            serial_result.metrics.cache_misses
+        )
+
+    def test_no_shm_segments_left_behind(self):
+        import glob
+
+        run_fleet(SPEC, jobs=2, policy_plane="shm")
+        assert glob.glob("/dev/shm/rpp*") == []
+
+    def test_unknown_plane_rejected(self):
+        from repro.core.errors import CoReDAError
+
+        with pytest.raises(CoReDAError):
+            run_fleet(SPEC, jobs=1, policy_plane="mmap")
+
+    def test_cli_policy_plane_flag(self, capsys):
+        argv = [
+            "fleet", "--homes", "4", "--train-episodes", "40",
+            "--seed-classes", "2", "--shard-size", "2", "--json",
+        ]
+        assert main(argv + ["--policy-plane", "shm"]) == 0
+        shm_out = capsys.readouterr().out
+        assert main(argv + ["--policy-plane", "json"]) == 0
+        json_out = capsys.readouterr().out
+        assert json.loads(shm_out) == json.loads(json_out)
+
+
 class TestFleetCli:
     def test_text_output(self, capsys):
         code = main([

@@ -30,7 +30,7 @@ def test_full_rule_pack_is_active():
     assert set(all_rule_ids()) >= {
         "DET001", "DET002", "DET003", "DET004",
         "SIM001", "SIM002", "SIM003", "PERF001",
-        "VER001", "PAR001", "PAR002",
+        "VER001", "PAR001", "PAR002", "PAR003",
     }
 
 
